@@ -1,0 +1,163 @@
+//! Calders & Verwer's two-naive-Bayes approach (Data Min. Knowl. Discov.
+//! 2010) — "\[13\]" in the paper's related-work table: an early *fair model
+//! ensemble* that trains one naive Bayes model per sensitive group and
+//! then post-adjusts the decision rule until demographic parity holds.
+//!
+//! Implementation: a Gaussian NB per binary group, plus per-group decision
+//! thresholds balanced by bisection so that the *training* positive rates
+//! of the two groups meet in the middle (the paper's CV2NB modifies the
+//! class priors until the measured discrimination reaches zero — shifting
+//! the decision threshold on `P(y=1|x)` is the equivalent operation for a
+//! fixed model).
+
+use falcc::FairClassifier;
+use falcc_dataset::{Dataset, GroupId, GroupIndex};
+use falcc_models::bayes::GaussianNb;
+use falcc_models::Classifier;
+
+/// A fitted Calders–Verwer two-model classifier.
+pub struct CaldersVerwer {
+    models: Vec<GaussianNb>,
+    thresholds: Vec<f64>,
+    group_index: GroupIndex,
+    name: String,
+}
+
+impl CaldersVerwer {
+    /// Fits per-group models on `train` and balances the thresholds.
+    ///
+    /// # Errors
+    /// [`falcc::FalccError::GroupAbsent`] when a group has no training
+    /// rows.
+    pub fn fit(train: &Dataset) -> Result<Self, falcc::FalccError> {
+        let group_index = train.group_index().clone();
+        let n_groups = group_index.len();
+        let attrs = train.schema().non_sensitive_attrs();
+
+        let mut models = Vec::with_capacity(n_groups);
+        let mut group_rows = Vec::with_capacity(n_groups);
+        for g in 0..n_groups {
+            let rows = train.indices_of_group(GroupId(g as u16));
+            if rows.is_empty() {
+                return Err(falcc::FalccError::GroupAbsent { group: g });
+            }
+            models.push(GaussianNb::fit(train, &attrs, &rows));
+            group_rows.push(rows);
+        }
+
+        // Target: every group's positive prediction rate equals the overall
+        // training positive rate. Per group, bisect the threshold on the
+        // model's probability output.
+        let target = train.positive_rate();
+        let thresholds: Vec<f64> = (0..n_groups)
+            .map(|g| {
+                let probas: Vec<f64> = group_rows[g]
+                    .iter()
+                    .map(|&i| models[g].predict_proba_row(train.row(i)))
+                    .collect();
+                threshold_for_rate(&probas, target)
+            })
+            .collect();
+
+        Ok(Self {
+            models,
+            thresholds,
+            group_index,
+            name: "CV-2NB".to_string(),
+        })
+    }
+
+    /// The balanced per-group thresholds (diagnostics).
+    pub fn thresholds(&self) -> &[f64] {
+        &self.thresholds
+    }
+}
+
+/// The threshold at which `fraction(probas > t) ≈ rate` (nearest-rank
+/// quantile).
+fn threshold_for_rate(probas: &[f64], rate: f64) -> f64 {
+    if probas.is_empty() {
+        return 0.5;
+    }
+    let mut sorted = probas.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite probabilities"));
+    let rank =
+        ((sorted.len() as f64) * (1.0 - rate.clamp(0.0, 1.0))).floor() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+impl FairClassifier for CaldersVerwer {
+    fn predict_row(&self, row: &[f64]) -> u8 {
+        let g = self
+            .group_index
+            .group_of(row)
+            .expect("sample's sensitive attributes must be in-domain")
+            .index();
+        let p = self.models[g].predict_proba_row(row);
+        u8::from(p > self.thresholds[g])
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use falcc_dataset::synthetic::{generate, SyntheticConfig};
+    use falcc_dataset::{SplitRatios, ThreeWaySplit};
+    use falcc_metrics::{accuracy, FairnessMetric};
+
+    fn split(n: usize, seed: u64) -> ThreeWaySplit {
+        let mut cfg = SyntheticConfig::social(0.4);
+        cfg.n = n;
+        let ds = generate(&cfg, seed).unwrap();
+        ThreeWaySplit::split(&ds, SplitRatios::PAPER, seed).unwrap()
+    }
+
+    #[test]
+    fn balances_group_rates() {
+        let s = split(3000, 1);
+        let model = CaldersVerwer::fit(&s.train).unwrap();
+        let preds = model.predict_dataset(&s.test);
+        let bias = FairnessMetric::DemographicParity.bias(
+            s.test.labels(),
+            &preds,
+            s.test.groups(),
+            2,
+        );
+        let label_bias = FairnessMetric::DemographicParity.bias(
+            s.test.labels(),
+            s.test.labels(),
+            s.test.groups(),
+            2,
+        );
+        assert!(bias < label_bias / 2.0, "bias {bias} vs labels {label_bias}");
+        let acc = accuracy(s.test.labels(), &preds);
+        assert!(acc > 0.55, "accuracy {acc}");
+        assert_eq!(model.name(), "CV-2NB");
+    }
+
+    #[test]
+    fn thresholds_differ_between_biased_groups() {
+        let s = split(2000, 2);
+        let model = CaldersVerwer::fit(&s.train).unwrap();
+        // Favored group (more positives than target) needs a higher bar,
+        // the protected group a lower one.
+        assert!(
+            (model.thresholds()[0] - model.thresholds()[1]).abs() > 0.01,
+            "thresholds {:?}",
+            model.thresholds()
+        );
+    }
+
+    #[test]
+    fn threshold_for_rate_hits_requested_fraction() {
+        let probas: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        let t = threshold_for_rate(&probas, 0.3);
+        let achieved =
+            probas.iter().filter(|&&p| p > t).count() as f64 / probas.len() as f64;
+        assert!((achieved - 0.3).abs() <= 0.02, "achieved {achieved}");
+    }
+}

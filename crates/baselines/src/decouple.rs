@@ -1,0 +1,184 @@
+//! Decoupled classifiers (Dwork et al., FAT* 2018).
+//!
+//! Train several classifiers, enumerate all combinations (one classifier
+//! per sensitive group), assess every combination against a joint
+//! accuracy + fairness metric **globally**, and use the single best
+//! combination for all future samples. FALCC generalises this from one
+//! global region to per-cluster regions; setting FALCC's cluster count to 1
+//! coincides with Decouple up to the training procedure.
+
+use falcc::FairClassifier;
+use falcc_dataset::{Dataset, GroupIndex};
+use falcc_metrics::LossConfig;
+use falcc_models::{enumerate_combinations, predict_dataset, ModelPool};
+
+/// A fitted Decouple model.
+pub struct Decouple {
+    pool: ModelPool,
+    best_combo: Vec<usize>,
+    group_index: GroupIndex,
+    name: String,
+}
+
+impl Decouple {
+    /// Assesses every combination of `pool` on `validation` with `loss`
+    /// and keeps the global argmin.
+    ///
+    /// # Errors
+    /// [`falcc::FalccError::NoApplicableModel`] if some group has no
+    /// applicable model.
+    pub fn fit(
+        pool: ModelPool,
+        validation: &Dataset,
+        loss: LossConfig,
+    ) -> Result<Self, falcc::FalccError> {
+        let group_index = validation.group_index().clone();
+        let n_groups = group_index.len();
+        let combos = enumerate_combinations(&pool, n_groups);
+        if combos.is_empty() {
+            return Err(falcc::FalccError::NoApplicableModel { group: 0 });
+        }
+        let preds: Vec<Vec<u8>> = pool
+            .models
+            .iter()
+            .map(|m| predict_dataset(m.model.as_ref(), validation))
+            .collect();
+        let y = validation.labels();
+        let g = validation.groups();
+        let mut best: Option<(usize, f64)> = None;
+        for (ci, combo) in combos.iter().enumerate() {
+            let z: Vec<u8> = (0..validation.len())
+                .map(|i| preds[combo[g[i].index()]][i])
+                .collect();
+            let l = loss.evaluate(y, &z, g, n_groups);
+            if best.is_none_or(|(_, b)| l < b) {
+                best = Some((ci, l));
+            }
+        }
+        let (ci, _) = best.expect("combos non-empty");
+        Ok(Self {
+            pool,
+            best_combo: combos[ci].clone(),
+            group_index,
+            name: "Decouple".to_string(),
+        })
+    }
+
+    /// The chosen combination (pool index per group).
+    pub fn combo(&self) -> &[usize] {
+        &self.best_combo
+    }
+
+    /// Overrides the reported name (`Decouple*` for the fair-pool config).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+}
+
+impl FairClassifier for Decouple {
+    fn predict_row(&self, row: &[f64]) -> u8 {
+        let group = self
+            .group_index
+            .group_of(row)
+            .expect("sample's sensitive attributes must be in-domain");
+        let model_idx = self.best_combo[group.index()];
+        self.pool.models[model_idx].model.predict_row(row)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use falcc_dataset::synthetic::{generate, SyntheticConfig};
+    use falcc_dataset::{SplitRatios, ThreeWaySplit};
+    use falcc_metrics::{accuracy, FairnessMetric};
+    use falcc_models::PoolConfig;
+
+    fn split(n: usize, seed: u64) -> ThreeWaySplit {
+        let mut cfg = SyntheticConfig::social(0.3);
+        cfg.n = n;
+        let ds = generate(&cfg, seed).unwrap();
+        ThreeWaySplit::split(&ds, SplitRatios::PAPER, seed).unwrap()
+    }
+
+    #[test]
+    fn fits_and_predicts_reasonably() {
+        let s = split(1200, 1);
+        let pool = ModelPool::train_diverse(
+            &s.train,
+            &s.validation,
+            &PoolConfig { pool_size: 3, ..Default::default() },
+        );
+        let model = Decouple::fit(
+            pool,
+            &s.validation,
+            LossConfig::balanced(FairnessMetric::DemographicParity),
+        )
+        .unwrap();
+        assert_eq!(model.combo().len(), 2);
+        let preds = model.predict_dataset(&s.test);
+        let acc = accuracy(s.test.labels(), &preds);
+        assert!(acc > 0.6, "accuracy {acc}");
+        assert_eq!(model.name(), "Decouple");
+    }
+
+    #[test]
+    fn chosen_combo_minimises_the_global_loss() {
+        let s = split(800, 2);
+        let pool = ModelPool::train_diverse(
+            &s.train,
+            &s.validation,
+            &PoolConfig { pool_size: 2, ..Default::default() },
+        );
+        let loss = LossConfig::balanced(FairnessMetric::DemographicParity);
+        let model = Decouple::fit(pool, &s.validation, loss).unwrap();
+        // Recompute all four combo losses by hand and verify the minimum.
+        let pool = model.pool_for_tests();
+        let preds: Vec<Vec<u8>> = pool
+            .models
+            .iter()
+            .map(|m| predict_dataset(m.model.as_ref(), &s.validation))
+            .collect();
+        let mut best = f64::INFINITY;
+        let mut chosen_loss = f64::NAN;
+        for a in 0..2 {
+            for b in 0..2 {
+                let z: Vec<u8> = (0..s.validation.len())
+                    .map(|i| preds[[a, b][s.validation.group(i).index()]][i])
+                    .collect();
+                let l = loss.evaluate(
+                    s.validation.labels(),
+                    &z,
+                    s.validation.groups(),
+                    2,
+                );
+                best = best.min(l);
+                if [a, b] == model.combo() {
+                    chosen_loss = l;
+                }
+            }
+        }
+        assert!((chosen_loss - best).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_pool_is_an_error() {
+        let s = split(400, 3);
+        let err = Decouple::fit(
+            ModelPool::from_models(vec![]),
+            &s.validation,
+            LossConfig::default(),
+        );
+        assert!(err.is_err());
+    }
+
+    impl Decouple {
+        fn pool_for_tests(&self) -> &ModelPool {
+            &self.pool
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Fair-SMOTE (Chakraborty, Majumder & Menzies, ESEC/FSE 2021): "Bias in
+//! machine learning software: why? how? what to do?"
+//!
+//! Two mechanisms:
+//! 1. **Balanced oversampling** — partition the training data into
+//!    subgroups (sensitive group × label) and SMOTE-oversample every
+//!    subgroup to the size of the largest, removing the distributional
+//!    imbalance that standard learners exploit.
+//! 2. **Situation testing** — fit a quick probe model, flip each training
+//!    sample's sensitive attributes, and *drop* samples whose prediction
+//!    flips with them (their labels are suspected to encode bias).
+//!
+//! The final classifier (AdaBoost, same family as the rest of the
+//! workspace) is then trained on the debiased, balanced data.
+
+use falcc::FairClassifier;
+use falcc_clustering::KdTree;
+use falcc_dataset::dataset::ProjectedMatrix;
+use falcc_dataset::Dataset;
+use falcc_models::linear::{LogisticParams, LogisticRegression};
+use falcc_models::tree::TreeParams;
+use falcc_models::{AdaBoost, AdaBoostParams, Classifier};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Fair-SMOTE hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FairSmoteParams {
+    /// Neighbours considered when interpolating synthetic samples.
+    pub smote_k: usize,
+    /// Whether to run the situation-testing removal pass.
+    pub situation_testing: bool,
+    /// Final model's boosting rounds.
+    pub n_estimators: usize,
+}
+
+impl Default for FairSmoteParams {
+    fn default() -> Self {
+        Self { smote_k: 5, situation_testing: true, n_estimators: 20 }
+    }
+}
+
+/// A fitted Fair-SMOTE pipeline.
+pub struct FairSmote {
+    model: AdaBoost,
+    name: String,
+    n_synthetic: usize,
+    n_removed: usize,
+}
+
+impl FairSmote {
+    /// Runs the full pipeline on `train`.
+    ///
+    /// # Panics
+    /// Panics if `train` is empty (propagated from the trainers).
+    pub fn fit(train: &Dataset, params: &FairSmoteParams, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x00c0_ffee_5eed_f00d);
+        let n_groups = train.group_index().len();
+
+        // --- Stage 1: subgroup partition (group × label). ---
+        let mut subgroups: Vec<Vec<usize>> = vec![Vec::new(); n_groups * 2];
+        for i in 0..train.len() {
+            let slot = train.group(i).index() * 2 + train.label(i) as usize;
+            subgroups[slot].push(i);
+        }
+        let target = subgroups.iter().map(|s| s.len()).max().unwrap_or(0);
+
+        // Materialise balanced rows: originals + SMOTE interpolations.
+        let d = train.n_attrs();
+        let sens_attrs = train.schema().sensitive_attrs();
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(target * subgroups.len());
+        let mut labels: Vec<u8> = Vec::with_capacity(target * subgroups.len());
+        let mut n_synthetic = 0usize;
+        for (slot, members) in subgroups.iter().enumerate() {
+            if members.is_empty() {
+                continue;
+            }
+            for &i in members {
+                rows.push(train.row(i).to_vec());
+                labels.push(train.label(i));
+            }
+            if members.len() >= 2 {
+                // Neighbour structure inside the subgroup for interpolation.
+                let mut data = Vec::with_capacity(members.len() * d);
+                for &i in members {
+                    data.extend_from_slice(train.row(i));
+                }
+                let tree = KdTree::build(ProjectedMatrix {
+                    data,
+                    n_cols: d,
+                    n_rows: members.len(),
+                });
+                let k = params.smote_k.min(members.len() - 1).max(1);
+                for _ in members.len()..target {
+                    let a_local = rng.gen_range(0..members.len());
+                    let base = train.row(members[a_local]);
+                    let nbrs = tree.nearest(base, k + 1);
+                    // Skip self (distance 0 first).
+                    let &(b_local, _) =
+                        nbrs.get(1 + rng.gen_range(0..k.min(nbrs.len() - 1).max(1)) - 1)
+                            .unwrap_or(&nbrs[0]);
+                    let other = train.row(members[b_local]);
+                    let t: f64 = rng.gen_range(0.0..1.0);
+                    let mut synth: Vec<f64> = base
+                        .iter()
+                        .zip(other)
+                        .map(|(x, y)| x + t * (y - x))
+                        .collect();
+                    // Sensitive attributes stay categorical: keep the
+                    // base's values (same subgroup anyway).
+                    for &a in &sens_attrs {
+                        synth[a] = base[a];
+                    }
+                    rows.push(synth);
+                    labels.push((slot % 2) as u8);
+                    n_synthetic += 1;
+                }
+            }
+        }
+        let balanced =
+            Dataset::from_rows(train.schema().clone(), rows, labels).expect("balanced data");
+
+        // --- Stage 2: situation testing. ---
+        let attrs: Vec<usize> = (0..d).collect();
+        let (final_train, n_removed) = if params.situation_testing {
+            let probe_idx: Vec<usize> = (0..balanced.len()).collect();
+            let probe = LogisticRegression::fit(
+                &balanced,
+                &attrs,
+                &probe_idx,
+                &LogisticParams { epochs: 150, ..Default::default() },
+            );
+            let mut keep = Vec::with_capacity(balanced.len());
+            for i in 0..balanced.len() {
+                let base_pred = probe.predict_row(balanced.row(i));
+                let mut flipped = false;
+                // Flip each sensitive attribute to every other domain value.
+                for s in balanced.schema().sensitive() {
+                    for &v in &s.domain {
+                        if (v - balanced.value(i, s.attr)).abs() < 1e-9 {
+                            continue;
+                        }
+                        let mut row = balanced.row(i).to_vec();
+                        row[s.attr] = v;
+                        if probe.predict_row(&row) != base_pred {
+                            flipped = true;
+                        }
+                    }
+                }
+                if !flipped {
+                    keep.push(i);
+                }
+            }
+            let removed = balanced.len() - keep.len();
+            // Never drop below half the data: situation testing is a
+            // filter, not a guillotine.
+            if keep.len() < balanced.len() / 2 {
+                ((0..balanced.len()).collect::<Vec<_>>(), 0)
+            } else {
+                (keep, removed)
+            }
+        } else {
+            ((0..balanced.len()).collect(), 0)
+        };
+
+        // --- Stage 3: final model on the debiased data. ---
+        let boost_params = AdaBoostParams {
+            n_estimators: params.n_estimators,
+            tree: TreeParams { max_depth: 3, ..Default::default() },
+        };
+        let model =
+            AdaBoost::fit(&balanced, &attrs, &final_train, None, &boost_params, seed);
+
+        Self { model, name: "Fair-SMOTE".to_string(), n_synthetic, n_removed }
+    }
+
+    /// How many synthetic samples SMOTE generated (diagnostics).
+    pub fn n_synthetic(&self) -> usize {
+        self.n_synthetic
+    }
+
+    /// How many samples situation testing removed (diagnostics).
+    pub fn n_removed(&self) -> usize {
+        self.n_removed
+    }
+}
+
+impl FairClassifier for FairSmote {
+    fn predict_row(&self, row: &[f64]) -> u8 {
+        self.model.predict_row(row)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use falcc_dataset::synthetic::{generate, SyntheticConfig};
+    use falcc_dataset::{SplitRatios, ThreeWaySplit};
+    use falcc_metrics::{accuracy, FairnessMetric};
+
+    fn split(n: usize, seed: u64) -> ThreeWaySplit {
+        let mut cfg = SyntheticConfig::social(0.4);
+        cfg.n = n;
+        let ds = generate(&cfg, seed).unwrap();
+        ThreeWaySplit::split(&ds, SplitRatios::PAPER, seed).unwrap()
+    }
+
+    #[test]
+    fn balances_subgroups_with_synthetic_samples() {
+        let s = split(1000, 1);
+        let model = FairSmote::fit(&s.train, &FairSmoteParams::default(), 0);
+        // Biased data has unequal subgroup sizes → SMOTE must add samples.
+        assert!(model.n_synthetic() > 0);
+    }
+
+    #[test]
+    fn keeps_reasonable_accuracy_and_reduces_bias() {
+        let s = split(2000, 2);
+        let model = FairSmote::fit(&s.train, &FairSmoteParams::default(), 0);
+        let preds = model.predict_dataset(&s.test);
+        let acc = accuracy(s.test.labels(), &preds);
+        assert!(acc > 0.55, "accuracy {acc}");
+        let label_bias = FairnessMetric::DemographicParity.bias(
+            s.test.labels(),
+            s.test.labels(),
+            s.test.groups(),
+            2,
+        );
+        let pred_bias = FairnessMetric::DemographicParity.bias(
+            s.test.labels(),
+            &preds,
+            s.test.groups(),
+            2,
+        );
+        assert!(
+            pred_bias < label_bias,
+            "bias {pred_bias} should undercut label bias {label_bias}"
+        );
+    }
+
+    #[test]
+    fn situation_testing_can_be_disabled() {
+        let s = split(800, 3);
+        let params = FairSmoteParams { situation_testing: false, ..Default::default() };
+        let model = FairSmote::fit(&s.train, &params, 0);
+        assert_eq!(model.n_removed(), 0);
+        assert_eq!(model.name(), "Fair-SMOTE");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let s = split(600, 4);
+        let a = FairSmote::fit(&s.train, &FairSmoteParams::default(), 9);
+        let b = FairSmote::fit(&s.train, &FairSmoteParams::default(), 9);
+        assert_eq!(a.predict_dataset(&s.test), b.predict_dataset(&s.test));
+    }
+}

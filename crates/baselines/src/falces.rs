@@ -1,0 +1,355 @@
+//! The FALCES family (Lässig, Oppold & Herschel, BTW 2021 /
+//! Datenbank-Spektrum 2022) — the state-of-the-art locally fair ensemble
+//! selector FALCC is measured against.
+//!
+//! FALCES also pairs each sensitive group with the best model of an
+//! ensemble pool, but determines the local region **online**: for every new
+//! sample it finds the k nearest validation neighbours *per sensitive
+//! group*, assesses every (retained) model combination on that
+//! neighbourhood, and classifies with the winner. That per-sample work is
+//! what makes it slow (paper Fig. 6), and what FALCC's offline clustering
+//! eliminates.
+//!
+//! Four variants, as in the original papers:
+//!
+//! | variant | split training (SBT) | combination prefiltering (PFA) |
+//! |---|---|---|
+//! | `Plain`   | no  | no  |
+//! | `Pfa`     | no  | yes |
+//! | `Sbt`     | yes | no  |
+//! | `SbtPfa`  | yes | yes |
+//!
+//! PFA assesses all combinations globally on the validation set first and
+//! retains only the best fraction, shrinking the per-sample assessment
+//! loop — the FASTEST member of the family.
+
+use falcc::FairClassifier;
+use falcc_clustering::KdTree;
+use falcc_dataset::dataset::ProjectedMatrix;
+use falcc_dataset::{AttrId, Dataset, GroupId, GroupIndex};
+use falcc_metrics::LossConfig;
+use falcc_models::{enumerate_combinations, predict_dataset, ModelPool};
+
+/// Which FALCES variant to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FalcesVariant {
+    /// No split training, no prefiltering.
+    Plain,
+    /// Prefiltered combinations.
+    Pfa,
+    /// Split (per-group) training.
+    Sbt,
+    /// Split training + prefiltering.
+    SbtPfa,
+}
+
+impl FalcesVariant {
+    /// All four variants (the harness evaluates them all and reports
+    /// FALCES-BEST / FALCES-FASTEST).
+    pub const ALL: [Self; 4] = [Self::Plain, Self::Pfa, Self::Sbt, Self::SbtPfa];
+
+    /// Name as used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Plain => "FALCES",
+            Self::Pfa => "FALCES-PFA",
+            Self::Sbt => "FALCES-SBT",
+            Self::SbtPfa => "FALCES-SBT-PFA",
+        }
+    }
+
+    /// Whether this variant trains per-group models.
+    pub fn split_training(self) -> bool {
+        matches!(self, Self::Sbt | Self::SbtPfa)
+    }
+
+    /// Whether this variant prefilters combinations.
+    pub fn prefilters(self) -> bool {
+        matches!(self, Self::Pfa | Self::SbtPfa)
+    }
+}
+
+/// FALCES configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct FalcesConfig {
+    /// Variant to build.
+    pub variant: FalcesVariant,
+    /// Nearest neighbours per sensitive group (paper: 15).
+    pub k: usize,
+    /// Fraction of combinations retained by PFA (applied only when the
+    /// variant prefilters).
+    pub keep_fraction: f64,
+    /// Assessment loss.
+    pub loss: LossConfig,
+}
+
+impl Default for FalcesConfig {
+    fn default() -> Self {
+        Self {
+            variant: FalcesVariant::Plain,
+            k: 15,
+            keep_fraction: 0.25,
+            loss: LossConfig::default(),
+        }
+    }
+}
+
+/// A fitted FALCES model. The online phase per sample: per-group kNN →
+/// combination assessment on the neighbourhood → classify.
+pub struct Falces {
+    pool: ModelPool,
+    /// Retained combinations (pool index per group).
+    combos: Vec<Vec<usize>>,
+    /// One kd-tree per sensitive group over the non-sensitive projection.
+    trees: Vec<KdTree>,
+    /// Maps (group, tree-local index) back to validation row index.
+    tree_rows: Vec<Vec<usize>>,
+    /// Per pool model: predictions on the validation set.
+    preds: Vec<Vec<u8>>,
+    val_labels: Vec<u8>,
+    val_groups: Vec<GroupId>,
+    attrs: Vec<AttrId>,
+    group_index: GroupIndex,
+    loss: LossConfig,
+    k: usize,
+    name: String,
+}
+
+impl Falces {
+    /// Offline phase: store the validation neighbourhood indices and
+    /// (optionally prefiltered) combination list.
+    ///
+    /// # Errors
+    /// [`falcc::FalccError::NoApplicableModel`] when no combination covers
+    /// every group; [`falcc::FalccError::GroupAbsent`] when the validation
+    /// set lacks a group entirely.
+    pub fn fit(
+        pool: ModelPool,
+        validation: &Dataset,
+        config: &FalcesConfig,
+    ) -> Result<Self, falcc::FalccError> {
+        let group_index = validation.group_index().clone();
+        let n_groups = group_index.len();
+        let counts = validation.group_counts();
+        if let Some(g) = counts.iter().position(|&c| c == 0) {
+            return Err(falcc::FalccError::GroupAbsent { group: g });
+        }
+        let mut combos = enumerate_combinations(&pool, n_groups);
+        if combos.is_empty() {
+            return Err(falcc::FalccError::NoApplicableModel { group: 0 });
+        }
+        let preds: Vec<Vec<u8>> = pool
+            .models
+            .iter()
+            .map(|m| predict_dataset(m.model.as_ref(), validation))
+            .collect();
+
+        if config.variant.prefilters() && combos.len() > 1 {
+            let y = validation.labels();
+            let g = validation.groups();
+            let mut scored: Vec<(f64, usize)> = combos
+                .iter()
+                .enumerate()
+                .map(|(ci, combo)| {
+                    let z: Vec<u8> = (0..validation.len())
+                        .map(|i| preds[combo[g[i].index()]][i])
+                        .collect();
+                    (config.loss.evaluate(y, &z, g, n_groups), ci)
+                })
+                .collect();
+            scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("losses are finite"));
+            let keep =
+                ((combos.len() as f64 * config.keep_fraction).ceil() as usize).max(1);
+            let kept: Vec<Vec<usize>> =
+                scored[..keep].iter().map(|&(_, ci)| combos[ci].clone()).collect();
+            combos = kept;
+        }
+
+        // Per-group kd-trees over the non-sensitive projection.
+        let attrs = validation.schema().non_sensitive_attrs();
+        let mut trees = Vec::with_capacity(n_groups);
+        let mut tree_rows = Vec::with_capacity(n_groups);
+        for g in 0..n_groups {
+            let rows = validation.indices_of_group(GroupId(g as u16));
+            let mut data = Vec::with_capacity(rows.len() * attrs.len());
+            for &i in &rows {
+                let row = validation.row(i);
+                data.extend(attrs.iter().map(|&a| row[a]));
+            }
+            trees.push(KdTree::build(ProjectedMatrix {
+                data,
+                n_cols: attrs.len(),
+                n_rows: rows.len(),
+            }));
+            tree_rows.push(rows);
+        }
+
+        Ok(Self {
+            pool,
+            combos,
+            trees,
+            tree_rows,
+            preds,
+            val_labels: validation.labels().to_vec(),
+            val_groups: validation.groups().to_vec(),
+            attrs,
+            group_index,
+            loss: config.loss,
+            k: config.k,
+            name: config.variant.name().to_string(),
+        })
+    }
+
+    /// Number of retained combinations (diagnostics / PFA verification).
+    pub fn n_combos(&self) -> usize {
+        self.combos.len()
+    }
+
+    /// Overrides the reported name (e.g. `FALCES-BEST*`).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// The per-sample local region: the union of the k nearest validation
+    /// neighbours of `row` from every sensitive group.
+    fn local_region(&self, row: &[f64]) -> Vec<usize> {
+        let query: Vec<f64> = self.attrs.iter().map(|&a| row[a]).collect();
+        let mut region = Vec::with_capacity(self.k * self.trees.len());
+        for (g, tree) in self.trees.iter().enumerate() {
+            for (local, _) in tree.nearest(&query, self.k) {
+                region.push(self.tree_rows[g][local]);
+            }
+        }
+        region
+    }
+}
+
+impl FairClassifier for Falces {
+    fn predict_row(&self, row: &[f64]) -> u8 {
+        let group = self
+            .group_index
+            .group_of(row)
+            .expect("sample's sensitive attributes must be in-domain");
+        let region = self.local_region(row);
+        let y: Vec<u8> = region.iter().map(|&i| self.val_labels[i]).collect();
+        let g: Vec<GroupId> = region.iter().map(|&i| self.val_groups[i]).collect();
+        let n_groups = self.group_index.len();
+        let mut best: Option<(usize, f64)> = None;
+        for (ci, combo) in self.combos.iter().enumerate() {
+            let z: Vec<u8> = region
+                .iter()
+                .zip(&g)
+                .map(|(&i, gi)| self.preds[combo[gi.index()]][i])
+                .collect();
+            let l = self.loss.evaluate(&y, &z, &g, n_groups);
+            if best.is_none_or(|(_, b)| l < b) {
+                best = Some((ci, l));
+            }
+        }
+        let (ci, _) = best.expect("combos non-empty");
+        let model_idx = self.combos[ci][group.index()];
+        self.pool.models[model_idx].model.predict_row(row)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use falcc_dataset::synthetic::{generate, SyntheticConfig};
+    use falcc_dataset::{SplitRatios, ThreeWaySplit};
+    use falcc_metrics::accuracy;
+    use falcc_models::PoolConfig;
+
+    fn split(n: usize, seed: u64) -> ThreeWaySplit {
+        let mut cfg = SyntheticConfig::social(0.3);
+        cfg.n = n;
+        let ds = generate(&cfg, seed).unwrap();
+        ThreeWaySplit::split(&ds, SplitRatios::PAPER, seed).unwrap()
+    }
+
+    fn pool(s: &ThreeWaySplit, size: usize) -> ModelPool {
+        ModelPool::train_diverse(
+            &s.train,
+            &s.validation,
+            &PoolConfig { pool_size: size, ..Default::default() },
+        )
+    }
+
+    #[test]
+    fn plain_variant_predicts_accurately() {
+        let s = split(1000, 1);
+        let model = Falces::fit(pool(&s, 3), &s.validation, &FalcesConfig::default()).unwrap();
+        let preds = model.predict_dataset(&s.test);
+        let acc = accuracy(s.test.labels(), &preds);
+        assert!(acc > 0.6, "accuracy {acc}");
+        assert_eq!(model.name(), "FALCES");
+        assert_eq!(model.n_combos(), 9);
+    }
+
+    #[test]
+    fn pfa_retains_a_fraction_of_combos() {
+        let s = split(800, 2);
+        let cfg = FalcesConfig {
+            variant: FalcesVariant::Pfa,
+            keep_fraction: 0.25,
+            ..Default::default()
+        };
+        let model = Falces::fit(pool(&s, 3), &s.validation, &cfg).unwrap();
+        assert_eq!(model.n_combos(), 3, "ceil(9 × 0.25) = 3");
+        assert_eq!(model.name(), "FALCES-PFA");
+        let preds = model.predict_dataset(&s.test);
+        assert_eq!(preds.len(), s.test.len());
+    }
+
+    #[test]
+    fn sbt_variant_uses_split_pools() {
+        let s = split(900, 3);
+        let sbt_pool = ModelPool::train_diverse(
+            &s.train,
+            &s.validation,
+            &PoolConfig { pool_size: 2, split_by_group: true, ..Default::default() },
+        );
+        let cfg = FalcesConfig { variant: FalcesVariant::Sbt, ..Default::default() };
+        let model = Falces::fit(sbt_pool, &s.validation, &cfg).unwrap();
+        // 3 applicable per group → 9 combos.
+        assert_eq!(model.n_combos(), 9);
+        let preds = model.predict_dataset(&s.test);
+        assert_eq!(preds.len(), s.test.len());
+    }
+
+    #[test]
+    fn local_region_covers_all_groups() {
+        let s = split(700, 4);
+        let model = Falces::fit(pool(&s, 2), &s.validation, &FalcesConfig::default()).unwrap();
+        let region = model.local_region(s.test.row(0));
+        assert_eq!(region.len(), 30, "15 per group × 2 groups");
+        let groups: std::collections::HashSet<u16> =
+            region.iter().map(|&i| model.val_groups[i].0).collect();
+        assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    fn deterministic_predictions() {
+        let s = split(600, 5);
+        let model = Falces::fit(pool(&s, 2), &s.validation, &FalcesConfig::default()).unwrap();
+        assert_eq!(
+            model.predict_dataset(&s.test),
+            model.predict_dataset(&s.test)
+        );
+    }
+
+    #[test]
+    fn empty_pool_is_rejected() {
+        let s = split(500, 6);
+        assert!(Falces::fit(
+            ModelPool::from_models(vec![]),
+            &s.validation,
+            &FalcesConfig::default()
+        )
+        .is_err());
+    }
+}

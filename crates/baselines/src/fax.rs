@@ -1,0 +1,182 @@
+//! FaX — "Marrying fairness and explainability in supervised learning"
+//! (Grabowicz, Perello & Mishra, FAccT 2022).
+//!
+//! FaX removes the *direct* influence of the protected attribute — and,
+//! through its explicit use of that attribute at prediction time, the
+//! redlining effect of proxies — via a **marginal interventional mixture**
+//! (MIM): train a probabilistic model on all attributes, then predict
+//!
+//! `ŷ(x) = Σ_s P(S = s) · f(x_{¬S}, S := s)`
+//!
+//! i.e. average the model's output over interventions that set the
+//! protected attribute to each of its values, weighted by the marginal.
+//! The decision no longer depends on the sample's own protected value, and
+//! because the base model was allowed to *see* S during training it does
+//! not launder S's signal through proxies (the mechanism behind FaX's
+//! strong individual-fairness results in the paper's evaluation).
+
+use falcc::FairClassifier;
+use falcc_dataset::Dataset;
+use falcc_models::tree::TreeParams;
+use falcc_models::{AdaBoost, AdaBoostParams, Classifier};
+
+/// FaX hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FaxParams {
+    /// Boosting rounds of the probabilistic base model.
+    pub n_estimators: usize,
+    /// Base-tree depth.
+    pub max_depth: usize,
+}
+
+impl Default for FaxParams {
+    fn default() -> Self {
+        Self { n_estimators: 20, max_depth: 3 }
+    }
+}
+
+/// One intervention: the row positions of the sensitive attributes and the
+/// values to impose, with its marginal probability.
+struct Intervention {
+    values: Vec<f64>,
+    prob: f64,
+}
+
+/// A fitted FaX (MIM) model.
+pub struct Fax {
+    base: AdaBoost,
+    sens_attrs: Vec<usize>,
+    interventions: Vec<Intervention>,
+    name: String,
+}
+
+impl Fax {
+    /// Fits the MIM estimator on `train`.
+    ///
+    /// # Panics
+    /// Panics if `train` is empty (propagated from the trainer).
+    pub fn fit(train: &Dataset, params: &FaxParams, seed: u64) -> Self {
+        let attrs: Vec<usize> = (0..train.n_attrs()).collect();
+        let idx: Vec<usize> = (0..train.len()).collect();
+        let boost = AdaBoostParams {
+            n_estimators: params.n_estimators,
+            tree: TreeParams { max_depth: params.max_depth, ..Default::default() },
+        };
+        let base = AdaBoost::fit(train, &attrs, &idx, None, &boost, seed);
+
+        // Marginal distribution of the joint sensitive configuration,
+        // estimated from the training data.
+        let group_index = train.group_index();
+        let counts = train.group_counts();
+        let n = train.len() as f64;
+        let sens_attrs = train.schema().sensitive_attrs();
+        let interventions: Vec<Intervention> = group_index
+            .ids()
+            .filter(|g| counts[g.index()] > 0)
+            .map(|g| Intervention {
+                values: group_index.values_of(g),
+                prob: counts[g.index()] as f64 / n,
+            })
+            .collect();
+
+        Self { base, sens_attrs, interventions, name: "FaX".to_string() }
+    }
+
+    /// The interventional mixture probability for one row.
+    pub fn predict_proba_row(&self, row: &[f64]) -> f64 {
+        let mut buf = row.to_vec();
+        let mut p = 0.0;
+        for iv in &self.interventions {
+            for (&a, &v) in self.sens_attrs.iter().zip(&iv.values) {
+                buf[a] = v;
+            }
+            p += iv.prob * self.base.predict_proba_row(&buf);
+        }
+        p
+    }
+}
+
+impl FairClassifier for Fax {
+    fn predict_row(&self, row: &[f64]) -> u8 {
+        u8::from(self.predict_proba_row(row) >= 0.5)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use falcc_dataset::synthetic::{generate, SyntheticConfig};
+    use falcc_dataset::{SplitRatios, ThreeWaySplit};
+    use falcc_metrics::{accuracy, FairnessMetric};
+
+    fn split(kind_social: bool, n: usize, seed: u64) -> ThreeWaySplit {
+        let mut cfg = if kind_social {
+            SyntheticConfig::social(0.4)
+        } else {
+            SyntheticConfig::implicit(0.4)
+        };
+        cfg.n = n;
+        let ds = generate(&cfg, seed).unwrap();
+        ThreeWaySplit::split(&ds, SplitRatios::PAPER, seed).unwrap()
+    }
+
+    #[test]
+    fn output_is_invariant_to_the_sample_sensitive_value() {
+        let s = split(true, 1000, 1);
+        let model = Fax::fit(&s.train, &FaxParams::default(), 0);
+        for i in 0..s.test.len().min(50) {
+            let mut row = s.test.row(i).to_vec();
+            row[0] = 0.0;
+            let p0 = model.predict_proba_row(&row);
+            row[0] = 1.0;
+            let p1 = model.predict_proba_row(&row);
+            assert!((p0 - p1).abs() < 1e-12, "MIM must ignore the sample's S");
+        }
+    }
+
+    #[test]
+    fn removes_direct_bias_while_staying_accurate() {
+        let s = split(true, 2000, 2);
+        let model = Fax::fit(&s.train, &FaxParams::default(), 0);
+        let preds = model.predict_dataset(&s.test);
+        let acc = accuracy(s.test.labels(), &preds);
+        assert!(acc > 0.6, "accuracy {acc}");
+        let label_bias = FairnessMetric::DemographicParity.bias(
+            s.test.labels(),
+            s.test.labels(),
+            s.test.groups(),
+            2,
+        );
+        let pred_bias = FairnessMetric::DemographicParity.bias(
+            s.test.labels(),
+            &preds,
+            s.test.groups(),
+            2,
+        );
+        assert!(
+            pred_bias < label_bias,
+            "bias {pred_bias} should undercut label bias {label_bias}"
+        );
+    }
+
+    #[test]
+    fn mixture_probabilities_sum_to_one() {
+        let s = split(false, 800, 3);
+        let model = Fax::fit(&s.train, &FaxParams::default(), 0);
+        let total: f64 = model.interventions.iter().map(|iv| iv.prob).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(model.name(), "FaX");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let s = split(true, 600, 4);
+        let a = Fax::fit(&s.train, &FaxParams::default(), 8);
+        let b = Fax::fit(&s.train, &FaxParams::default(), 8);
+        assert_eq!(a.predict_dataset(&s.test), b.predict_dataset(&s.test));
+    }
+}

@@ -1,0 +1,58 @@
+//! # falcc-baselines
+//!
+//! The comparison algorithms of the paper's evaluation (§4.1.2), all
+//! implemented from the original papers' descriptions and exposed through
+//! the shared [`falcc::FairClassifier`] trait:
+//!
+//! * [`decouple`] — Decoupled classifiers (Dwork, Immorlica, Kalai &
+//!   Leiserson, FAT* 2018): one *global* best model combination.
+//! * [`falces`] — the FALCES family (Lässig, Oppold & Herschel 2021/2022):
+//!   dynamic fair model ensembles with **online** kNN local regions; four
+//!   variants (± split training, ± combination prefiltering) plus
+//!   BEST/FASTEST selectors. The slow comparator of the paper's Fig. 6.
+//! * [`fairboost`] — FairBoost (Bhaskaruni, Hu & Lan, ICTAI 2019):
+//!   boosting with individual-fairness-driven instance weighting.
+//! * [`lfr`] — Learning Fair Representations (Zemel et al., ICML 2013):
+//!   prototype-based representation with a group-parity objective.
+//! * [`ifair`] — iFair (Lahoti, Gummadi & Weikum, ICDE 2019): prototype
+//!   representation with an individual-fairness (consistency) objective.
+//! * [`fairsmote`] — Fair-SMOTE (Chakraborty, Majumder & Menzies,
+//!   ESEC/FSE 2021): subgroup-balanced oversampling plus situation-testing
+//!   removal.
+//! * [`fax`] — FaX (Grabowicz, Perello & Mishra, FAccT 2022): the
+//!   marginal-interventional-mixture estimator that cuts the direct and
+//!   proxy influence of the sensitive attribute.
+//!
+//! Three classics from the paper's related-work table (Tab. 1) round out
+//! the roster beyond the evaluated set:
+//!
+//! * [`calders_verwer`] — the two-naive-Bayes fair ensemble of Calders &
+//!   Verwer (2010).
+//! * [`adafair`] — cumulative fairness boosting (Iosifidis & Ntoutsi,
+//!   CIKM 2019).
+//! * [`kamiran`] — reweighing pre-processing (Kamiran & Calders, 2012).
+//!
+//! Implementation fidelity notes live in each module and `DESIGN.md` §3.
+
+pub mod adafair;
+pub mod calders_verwer;
+pub mod decouple;
+pub mod fairboost;
+pub mod fairsmote;
+pub mod kamiran;
+pub mod falces;
+pub mod fax;
+pub mod ifair;
+pub mod lfr;
+mod prototypes;
+
+pub use adafair::{AdaFair, AdaFairParams};
+pub use calders_verwer::CaldersVerwer;
+pub use decouple::Decouple;
+pub use fairboost::{FairBoost, FairBoostParams};
+pub use fairsmote::{FairSmote, FairSmoteParams};
+pub use falces::{Falces, FalcesConfig, FalcesVariant};
+pub use fax::{Fax, FaxParams};
+pub use kamiran::KamiranReweighing;
+pub use ifair::{IFair, IFairParams};
+pub use lfr::{Lfr, LfrParams};

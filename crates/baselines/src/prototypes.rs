@@ -1,0 +1,233 @@
+//! Shared prototype-representation machinery for LFR and iFair.
+//!
+//! Both algorithms map samples to soft memberships over K prototypes in the
+//! (standardised, non-sensitive) feature space and predict through
+//! per-prototype label weights `w ∈ [0,1]^K`:
+//!
+//! `M_ik = softmax_k(−‖x_i − v_k‖²)`, `ŷ_i = Σ_k M_ik · w_k`.
+//!
+//! In the original papers prototypes and weights are optimised jointly by
+//! L-BFGS over a composite objective (reconstruction + prediction +
+//! fairness). Without an autodiff/optimizer dependency we use the
+//! equivalent two-stage scheme: prototypes come from k-means (the minimiser
+//! of the reconstruction term on its own), and `w` is fitted by projected
+//! gradient descent on squared prediction error plus the algorithm's
+//! fairness regulariser (group parity for LFR, neighbourhood consistency
+//! for iFair). See `DESIGN.md` §3.
+
+use falcc_clustering::KMeans;
+use falcc_dataset::{AttrId, Dataset};
+
+/// The learned representation + label weights.
+pub(crate) struct PrototypeModel {
+    pub attrs: Vec<AttrId>,
+    pub means: Vec<f64>,
+    pub stds: Vec<f64>,
+    /// K prototypes in standardised feature space.
+    pub prototypes: Vec<Vec<f64>>,
+    /// Per-prototype label weight in `[0, 1]`.
+    pub w: Vec<f64>,
+}
+
+impl PrototypeModel {
+    /// Standardises the non-sensitive projection of `ds` and places K
+    /// prototypes by k-means. Weights start at the per-prototype training
+    /// label mean (a sensible, data-driven initialisation).
+    pub(crate) fn init(ds: &Dataset, n_prototypes: usize, seed: u64) -> Self {
+        let attrs = ds.schema().non_sensitive_attrs();
+        let d = attrs.len();
+        let n = ds.len();
+
+        let mut means = vec![0.0; d];
+        let mut stds = vec![0.0; d];
+        for i in 0..n {
+            for (j, &a) in attrs.iter().enumerate() {
+                means[j] += ds.value(i, a);
+            }
+        }
+        for m in means.iter_mut() {
+            *m /= n as f64;
+        }
+        for i in 0..n {
+            for (j, &a) in attrs.iter().enumerate() {
+                let dlt = ds.value(i, a) - means[j];
+                stds[j] += dlt * dlt;
+            }
+        }
+        for s in stds.iter_mut() {
+            *s = (*s / n as f64).sqrt();
+            if *s < 1e-9 {
+                *s = 1.0;
+            }
+        }
+
+        let mut data = Vec::with_capacity(n * d);
+        for i in 0..n {
+            for (j, &a) in attrs.iter().enumerate() {
+                data.push((ds.value(i, a) - means[j]) / stds[j]);
+            }
+        }
+        let matrix = falcc_dataset::dataset::ProjectedMatrix { data, n_cols: d, n_rows: n };
+        let km = KMeans::new(n_prototypes.min(n), seed).fit(&matrix);
+
+        // Initialise w_k as the mean training label of cluster k.
+        let mut pos = vec![0.0f64; km.k()];
+        let mut tot = vec![0.0f64; km.k()];
+        for (i, &c) in km.assignments.iter().enumerate() {
+            tot[c] += 1.0;
+            pos[c] += ds.label(i) as f64;
+        }
+        let w: Vec<f64> = pos
+            .iter()
+            .zip(&tot)
+            .map(|(&p, &t)| if t > 0.0 { p / t } else { 0.5 })
+            .collect();
+
+        Self { attrs, means, stds, prototypes: km.centroids, w }
+    }
+
+    /// Standardises one full-width row into prototype space.
+    pub(crate) fn standardize(&self, row: &[f64]) -> Vec<f64> {
+        self.attrs
+            .iter()
+            .enumerate()
+            .map(|(j, &a)| (row[a] - self.means[j]) / self.stds[j])
+            .collect()
+    }
+
+    /// Soft membership of a standardised point over the prototypes.
+    pub(crate) fn membership(&self, x_std: &[f64]) -> Vec<f64> {
+        let neg_d2: Vec<f64> = self
+            .prototypes
+            .iter()
+            .map(|v| {
+                -v.iter()
+                    .zip(x_std)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+            })
+            .collect();
+        let max = neg_d2.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = neg_d2.iter().map(|&v| (v - max).exp()).collect();
+        let total: f64 = exps.iter().sum();
+        exps.iter().map(|&e| e / total).collect()
+    }
+
+    /// Membership matrix for every row of a dataset (n × K, row-major).
+    pub(crate) fn memberships(&self, ds: &Dataset) -> Vec<Vec<f64>> {
+        (0..ds.len())
+            .map(|i| self.membership(&self.standardize(ds.row(i))))
+            .collect()
+    }
+
+    /// `ŷ` for a full-width row with the current weights.
+    pub(crate) fn predict_proba(&self, row: &[f64]) -> f64 {
+        let m = self.membership(&self.standardize(row));
+        m.iter().zip(&self.w).map(|(mi, wi)| mi * wi).sum()
+    }
+
+    /// Projected gradient descent on
+    /// `Σ_i (ŷ_i − y_i)² / n + penalty(ŷ)`, where the caller supplies the
+    /// penalty's gradient w.r.t. `ŷ` via `penalty_grad(ŷ) → ∂penalty/∂ŷ`.
+    /// Weights are clamped to `[0, 1]` after every step.
+    pub(crate) fn fit_weights(
+        &mut self,
+        memberships: &[Vec<f64>],
+        labels: &[u8],
+        epochs: usize,
+        lr: f64,
+        mut penalty_grad: impl FnMut(&[f64]) -> Vec<f64>,
+    ) {
+        let n = labels.len();
+        let k = self.w.len();
+        for _ in 0..epochs {
+            // Forward pass.
+            let y_hat: Vec<f64> = memberships
+                .iter()
+                .map(|m| m.iter().zip(&self.w).map(|(mi, wi)| mi * wi).sum())
+                .collect();
+            let pen_grad = penalty_grad(&y_hat);
+            debug_assert_eq!(pen_grad.len(), n);
+            // Backward: d/dw_k = Σ_i (2(ŷ−y)/n + pen_grad_i)·M_ik.
+            let mut grad = vec![0.0f64; k];
+            for i in 0..n {
+                let gi = 2.0 * (y_hat[i] - labels[i] as f64) / n as f64 + pen_grad[i];
+                for (j, g) in grad.iter_mut().enumerate() {
+                    *g += gi * memberships[i][j];
+                }
+            }
+            for (wk, gk) in self.w.iter_mut().zip(&grad) {
+                *wk = (*wk - lr * gk).clamp(0.0, 1.0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use falcc_dataset::synthetic::{generate, SyntheticConfig};
+
+    fn dataset() -> Dataset {
+        let mut cfg = SyntheticConfig::social(0.3);
+        cfg.n = 500;
+        generate(&cfg, 1).unwrap()
+    }
+
+    #[test]
+    fn memberships_are_a_distribution() {
+        let ds = dataset();
+        let model = PrototypeModel::init(&ds, 6, 0);
+        for i in 0..20 {
+            let m = model.membership(&model.standardize(ds.row(i)));
+            assert_eq!(m.len(), 6);
+            let sum: f64 = m.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            assert!(m.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn init_weights_reflect_cluster_label_means() {
+        let ds = dataset();
+        let model = PrototypeModel::init(&ds, 5, 0);
+        assert!(model.w.iter().all(|&w| (0.0..=1.0).contains(&w)));
+        // Not all prototypes should carry the same weight on biased data.
+        let spread = model.w.iter().cloned().fold(f64::MIN, f64::max)
+            - model.w.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread > 0.01, "weight spread {spread}");
+    }
+
+    #[test]
+    fn weight_fitting_reduces_prediction_error() {
+        let ds = dataset();
+        let mut model = PrototypeModel::init(&ds, 8, 0);
+        let memberships = model.memberships(&ds);
+        let err = |m: &PrototypeModel| -> f64 {
+            (0..ds.len())
+                .map(|i| {
+                    let p = m.predict_proba(ds.row(i));
+                    (p - ds.label(i) as f64).powi(2)
+                })
+                .sum::<f64>()
+                / ds.len() as f64
+        };
+        // Degrade the initialisation, then let GD recover.
+        for w in model.w.iter_mut() {
+            *w = 0.5;
+        }
+        let before = err(&model);
+        model.fit_weights(&memberships, ds.labels(), 200, 0.5, |y| vec![0.0; y.len()]);
+        let after = err(&model);
+        assert!(after < before - 1e-3, "before {before}, after {after}");
+    }
+
+    #[test]
+    fn weights_stay_clamped() {
+        let ds = dataset();
+        let mut model = PrototypeModel::init(&ds, 4, 0);
+        let memberships = model.memberships(&ds);
+        model.fit_weights(&memberships, ds.labels(), 50, 10.0, |y| vec![0.0; y.len()]);
+        assert!(model.w.iter().all(|&w| (0.0..=1.0).contains(&w)));
+    }
+}

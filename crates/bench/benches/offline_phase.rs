@@ -1,0 +1,68 @@
+#![allow(clippy::field_reassign_with_default)] // config mutation reads clearer in experiment scripts
+
+//! Criterion micro-benchmarks of the **offline phase** components: diverse
+//! model training, clustering with LOG-Means, and model assessment. The
+//! offline phase runs once per deployment (paper §3.1), so these benches
+//! document the cost FALCC pays up front to buy its online speed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use falcc::{ClusterSpec, FalccConfig, FalccModel};
+use falcc_bench::BenchDataset;
+use falcc_clustering::{log_means, KEstimateConfig, KMeans};
+use falcc_dataset::{SplitRatios, ThreeWaySplit};
+use falcc_models::{ModelPool, PoolConfig};
+use std::hint::black_box;
+
+fn offline_phase(c: &mut Criterion) {
+    let seed = 11;
+    let ds = BenchDataset::Compas.generate(seed, 0.15);
+    let split = ThreeWaySplit::split(&ds, SplitRatios::PAPER, seed).expect("split");
+
+    let mut group = c.benchmark_group("offline_phase");
+    group.sample_size(10);
+
+    group.bench_function("diverse_model_training", |b| {
+        b.iter(|| {
+            black_box(ModelPool::train_diverse(
+                &split.train,
+                &split.validation,
+                &PoolConfig { pool_size: 5, seed, ..Default::default() },
+            ))
+        })
+    });
+
+    let attrs = split.validation.schema().non_sensitive_attrs();
+    let projected = split.validation.project(&attrs, None);
+    group.bench_function("log_means_estimation", |b| {
+        b.iter(|| {
+            let est = KEstimateConfig::for_rows(projected.n_rows, seed);
+            black_box(log_means(&projected, &est))
+        })
+    });
+
+    group.bench_function("kmeans_k8", |b| {
+        b.iter(|| black_box(KMeans::new(8, seed).fit(&projected)))
+    });
+
+    let pool = ModelPool::train_diverse(
+        &split.train,
+        &split.validation,
+        &PoolConfig { pool_size: 5, seed, ..Default::default() },
+    );
+    group.bench_function("assessment_with_fixed_pool", |b| {
+        b.iter(|| {
+            let mut cfg = FalccConfig::default();
+            cfg.clustering = ClusterSpec::FixedK(8);
+            cfg.seed = seed;
+            black_box(
+                FalccModel::fit_with_pool(&split.validation, pool.clone(), &cfg)
+                    .expect("fit"),
+            )
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, offline_phase);
+criterion_main!(benches);

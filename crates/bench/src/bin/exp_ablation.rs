@@ -1,0 +1,132 @@
+#![allow(clippy::field_reassign_with_default)] // config mutation reads clearer in experiment scripts
+
+//! Ablations of the design choices DESIGN.md §6 calls out (beyond the
+//! paper's own experiments):
+//!
+//! 1. **k selection** — LOG-Means vs Elbow vs fixed k ∈ {1, 4, 16}:
+//!    quality and offline cost of the clustering choice; `k = 1` is the
+//!    global-fairness degenerate case.
+//! 2. **Pool size** — 2..8 grid models: diversity/quality saturation.
+//! 3. **λ sweep** — 0, 0.25, 0.5, 0.75, 1: the accuracy↔fairness dial of
+//!    the Eq. 2 loss.
+//! 4. **Gap-fill k** — 1, 5, 15, 50: sensitivity of cluster gap-filling.
+
+use falcc::{ClusterSpec, FairClassifier, FalccConfig, FalccModel};
+use falcc_bench::report::{f4, write_csv};
+use falcc_bench::{reference_regions, BenchDataset, Opts, Table};
+use falcc_dataset::{SplitRatios, ThreeWaySplit};
+use falcc_metrics::{accuracy, local_bias, FairnessMetric, LossConfig};
+use std::time::Instant;
+
+struct Ctx {
+    split: ThreeWaySplit,
+    regions: (Vec<usize>, usize),
+    seed: u64,
+}
+
+fn run(ctx: &Ctx, cfg: &FalccConfig) -> (f64, f64, f64, usize) {
+    let start = Instant::now();
+    let model = FalccModel::fit(&ctx.split.train, &ctx.split.validation, cfg)
+        .expect("fit");
+    let fit_s = start.elapsed().as_secs_f64();
+    let preds = model.predict_dataset(&ctx.split.test);
+    let acc = accuracy(ctx.split.test.labels(), &preds);
+    let lb = local_bias(
+        cfg.loss.metric,
+        ctx.split.test.labels(),
+        &preds,
+        ctx.split.test.groups(),
+        ctx.split.test.group_index().len(),
+        &ctx.regions.0,
+        ctx.regions.1,
+    );
+    let _ = fit_s;
+    (acc, lb, fit_s, model.n_regions())
+}
+
+fn main() {
+    let opts = Opts::from_args();
+    let out = opts.ensure_out_dir().to_path_buf();
+    let metric = FairnessMetric::DemographicParity;
+    let seed = opts.seed;
+    let ds = BenchDataset::Compas.generate(seed, opts.scale);
+    let split = ThreeWaySplit::split(&ds, SplitRatios::PAPER, seed).expect("split");
+    let regions = reference_regions(&split, seed);
+    let ctx = Ctx { split, regions, seed };
+
+    let base = || {
+        let mut cfg = FalccConfig::default();
+        cfg.loss = LossConfig::balanced(metric);
+        cfg.seed = ctx.seed;
+        cfg
+    };
+
+    // --- 1. k selection. ---
+    let mut t1 = Table::new(
+        "Ablation 1 — cluster-count selection (COMPAS)",
+        &["clustering", "k", "accuracy", "local_bias", "offline_s"],
+    );
+    let specs: [(ClusterSpec, &str); 5] = [
+        (ClusterSpec::LogMeans, "LOG-Means"),
+        (ClusterSpec::Elbow, "Elbow"),
+        (ClusterSpec::FixedK(1), "fixed k=1 (global)"),
+        (ClusterSpec::FixedK(4), "fixed k=4"),
+        (ClusterSpec::FixedK(16), "fixed k=16"),
+    ];
+    for (spec, name) in specs {
+        let mut cfg = base();
+        cfg.clustering = spec;
+        let (acc, lb, fit_s, k) = run(&ctx, &cfg);
+        t1.push(vec![
+            name.into(),
+            k.to_string(),
+            f4(acc),
+            f4(lb),
+            format!("{fit_s:.2}"),
+        ]);
+    }
+    print!("{}", t1.render());
+    write_csv(&t1, &out, "ablation_k_selection.csv");
+
+    // --- 2. Pool size. ---
+    let mut t2 = Table::new(
+        "Ablation 2 — model pool size (COMPAS)",
+        &["pool_size", "accuracy", "local_bias", "offline_s"],
+    );
+    for pool_size in [2usize, 3, 4, 5, 6, 8] {
+        let mut cfg = base();
+        cfg.pool.pool_size = pool_size;
+        let (acc, lb, fit_s, _) = run(&ctx, &cfg);
+        t2.push(vec![pool_size.to_string(), f4(acc), f4(lb), format!("{fit_s:.2}")]);
+    }
+    print!("{}", t2.render());
+    write_csv(&t2, &out, "ablation_pool_size.csv");
+
+    // --- 3. λ sweep. ---
+    let mut t3 = Table::new(
+        "Ablation 3 — lambda sweep of the Eq. 2 loss (COMPAS)",
+        &["lambda", "accuracy", "local_bias"],
+    );
+    for lambda in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let mut cfg = base();
+        cfg.loss.lambda = lambda;
+        let (acc, lb, _, _) = run(&ctx, &cfg);
+        t3.push(vec![format!("{lambda:.2}"), f4(acc), f4(lb)]);
+    }
+    print!("{}", t3.render());
+    write_csv(&t3, &out, "ablation_lambda.csv");
+
+    // --- 4. Gap-fill k. ---
+    let mut t4 = Table::new(
+        "Ablation 4 — gap-fill neighbour count (COMPAS)",
+        &["gap_fill_k", "accuracy", "local_bias"],
+    );
+    for k in [1usize, 5, 15, 50] {
+        let mut cfg = base();
+        cfg.gap_fill_k = k;
+        let (acc, lb, _, _) = run(&ctx, &cfg);
+        t4.push(vec![k.to_string(), f4(acc), f4(lb)]);
+    }
+    print!("{}", t4.render());
+    write_csv(&t4, &out, "ablation_gap_fill.csv");
+}

@@ -1,0 +1,142 @@
+#![allow(clippy::field_reassign_with_default)] // config mutation reads clearer in experiment scripts
+
+//! E-F4 — regenerates the paper's **Fig. 4**: the effect of model-pool
+//! diversity on FALCC's quality. For each dataset we train many pools with
+//! varying hyperparameter settings (AdaBoost and random-forest families,
+//! all grid subsets of size 3–5 plus whole-grid pools), measure each pool's
+//! non-pairwise entropy on the validation set, run FALCC's offline phase on
+//! top, and record accuracy and local bias on the test set. A linear fit
+//! per dataset gives the trend lines the figure shows.
+
+use falcc::{FairClassifier, FalccConfig, FalccModel};
+use falcc_bench::report::{f4, write_csv};
+use falcc_bench::{reference_regions, BenchDataset, Opts, Table};
+use falcc_dataset::{SplitRatios, ThreeWaySplit};
+use falcc_metrics::{accuracy, local_bias, FairnessMetric};
+use falcc_models::grid::{paper_grid, TrainerKind};
+use falcc_models::{ModelPool, TrainedModel};
+use std::sync::Arc;
+
+/// Least-squares slope and intercept of y over x.
+fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        var += (x - mx) * (x - mx);
+    }
+    if var <= 0.0 {
+        (0.0, my)
+    } else {
+        (cov / var, my - cov / var * mx)
+    }
+}
+
+fn main() {
+    let opts = Opts::from_args();
+    let out = opts.ensure_out_dir().to_path_buf();
+    let metric = FairnessMetric::DemographicParity;
+    let datasets = [BenchDataset::Compas, BenchDataset::Implicit30, BenchDataset::Social30];
+
+    let mut scatter = Table::new(
+        "Fig. 4 — pool diversity (entropy) vs FALCC quality, demographic parity",
+        &["dataset", "pool", "entropy", "accuracy", "local_bias"],
+    );
+    let mut fits = Table::new(
+        "Fig. 4 — linear trends per dataset",
+        &["dataset", "slope acc/entropy", "slope bias/entropy", "points"],
+    );
+
+    for dataset in datasets {
+        let seed = opts.seed;
+        let ds = dataset.generate(seed, opts.scale);
+        let split = ThreeWaySplit::split(&ds, SplitRatios::PAPER, seed).expect("split");
+        let regions = reference_regions(&split, seed);
+        let attrs: Vec<usize> = (0..split.train.n_attrs()).collect();
+        let idx: Vec<usize> = (0..split.train.len()).collect();
+
+        // Candidate pools: for both trainer families, every contiguous
+        // window of the grid of sizes 3..=5 plus the full grid — a spread
+        // of diversity levels without a combinatorial blow-up.
+        let mut entropies = Vec::new();
+        let mut accs = Vec::new();
+        let mut biases = Vec::new();
+        for trainer in [TrainerKind::AdaBoost, TrainerKind::RandomForest] {
+            let grid = paper_grid(trainer);
+            let models: Vec<Arc<dyn falcc_models::Classifier>> = grid
+                .iter()
+                .enumerate()
+                .map(|(i, p)| p.fit(&split.train, &attrs, &idx, seed ^ (i as u64) << 4))
+                .collect();
+            let mut windows: Vec<Vec<usize>> = Vec::new();
+            for size in 3..=5usize {
+                for start in 0..=(grid.len() - size) {
+                    windows.push((start..start + size).collect());
+                }
+            }
+            windows.push((0..grid.len()).collect());
+
+            for (wi, window) in windows.iter().enumerate() {
+                let pool = ModelPool::from_models(
+                    window
+                        .iter()
+                        .map(|&i| TrainedModel { model: models[i].clone(), group: None })
+                        .collect(),
+                );
+                let entropy = pool.entropy_diversity(&split.validation);
+                let mut cfg = FalccConfig::default();
+                cfg.loss = falcc_metrics::LossConfig::balanced(metric);
+                cfg.seed = seed;
+                let Ok(model) = FalccModel::fit_with_pool(&split.validation, pool, &cfg)
+                else {
+                    continue;
+                };
+                let preds = model.predict_dataset(&split.test);
+                let acc = accuracy(split.test.labels(), &preds);
+                let lb = local_bias(
+                    metric,
+                    split.test.labels(),
+                    &preds,
+                    split.test.groups(),
+                    split.test.group_index().len(),
+                    &regions.0,
+                    regions.1,
+                );
+                let pool_name = format!(
+                    "{}-w{wi}",
+                    match trainer {
+                        TrainerKind::AdaBoost => "ada",
+                        TrainerKind::RandomForest => "rf",
+                    }
+                );
+                scatter.push(vec![
+                    dataset.name().into(),
+                    pool_name,
+                    f4(entropy),
+                    f4(acc),
+                    f4(lb),
+                ]);
+                entropies.push(entropy);
+                accs.push(acc);
+                biases.push(lb);
+            }
+        }
+        let (slope_acc, _) = linear_fit(&entropies, &accs);
+        let (slope_bias, _) = linear_fit(&entropies, &biases);
+        fits.push(vec![
+            dataset.name().into(),
+            f4(slope_acc),
+            f4(slope_bias),
+            entropies.len().to_string(),
+        ]);
+        eprintln!("[exp_diversity] finished dataset {}", dataset.name());
+    }
+
+    print!("{}", scatter.render());
+    print!("{}", fits.render());
+    write_csv(&scatter, &out, "fig4_diversity_scatter.csv");
+    write_csv(&fits, &out, "fig4_diversity_fits.csv");
+}

@@ -1,0 +1,84 @@
+#![allow(clippy::field_reassign_with_default)] // config mutation reads clearer in experiment scripts
+
+//! Extension experiment (beyond the paper's evaluation): the full algorithm
+//! roster — the paper's eight competitors *plus* the three related-work
+//! classics (CV-2NB, AdaFair, Reweighing) — compared on one dataset across
+//! all four quality dimensions. Useful for situating the classics the
+//! paper's Tab. 1 lists but does not evaluate.
+
+use falcc::FairClassifier;
+use falcc_baselines::{AdaFair, AdaFairParams, CaldersVerwer, KamiranReweighing};
+use falcc_bench::algos::PoolSet;
+use falcc_bench::eval::{evaluate, evaluate_algo};
+use falcc_bench::report::{f4, write_csv};
+use falcc_bench::{reference_regions, Algo, BenchDataset, Opts, Table};
+use falcc_dataset::{SplitRatios, ThreeWaySplit};
+use falcc_metrics::FairnessMetric;
+use std::collections::BTreeMap;
+
+fn main() {
+    let opts = Opts::from_args();
+    let out = opts.ensure_out_dir().to_path_buf();
+    let metric = FairnessMetric::DemographicParity;
+    let dataset = BenchDataset::Compas;
+
+    let mut sums: BTreeMap<String, [f64; 4]> = BTreeMap::new();
+    for &seed in &opts.run_seeds() {
+        let ds = dataset.generate(seed, opts.scale);
+        let split = ThreeWaySplit::split(&ds, SplitRatios::PAPER, seed).expect("split");
+        let pools = PoolSet::build(&split, seed);
+        let regions = reference_regions(&split, seed);
+
+        let mut add = |name: &str, row: falcc_bench::EvalRow| {
+            let e = sums.entry(name.to_string()).or_insert([0.0; 4]);
+            e[0] += row.accuracy;
+            e[1] += row.global_bias;
+            e[2] += row.local_bias;
+            e[3] += row.individual_bias;
+        };
+
+        for algo in Algo::DEFAULT_SET {
+            let (row, _) = evaluate_algo(algo, &split, &pools, metric, seed, &regions);
+            add(algo.name(), row);
+        }
+        // The related-work classics.
+        let classics: Vec<Box<dyn FairClassifier>> = vec![
+            Box::new(CaldersVerwer::fit(&split.train).expect("cv-2nb")),
+            Box::new(AdaFair::fit(&split.train, &AdaFairParams::default(), seed)),
+            Box::new(KamiranReweighing::fit(&split.train, 20, seed)),
+        ];
+        for model in &classics {
+            let row = evaluate(model.as_ref(), &split.test, metric, &regions, 0.0);
+            add(model.name(), row);
+        }
+        eprintln!("[exp_extended] seed {seed} done");
+    }
+
+    let runs = opts.runs as f64;
+    let mut table = Table::new(
+        format!("Extended roster on {} (demographic parity, avg of {} runs)", dataset.name(), opts.runs),
+        &["algorithm", "accuracy", "global", "local (L-hat)", "individual"],
+    );
+    let mut rows: Vec<(f64, Vec<String>)> = sums
+        .iter()
+        .map(|(name, v)| {
+            let l = 0.5 * (1.0 - v[0] / runs) + 0.5 * (v[1] / runs);
+            (
+                l,
+                vec![
+                    name.clone(),
+                    f4(v[0] / runs),
+                    f4(v[1] / runs),
+                    f4(v[2] / runs),
+                    f4(v[3] / runs),
+                ],
+            )
+        })
+        .collect();
+    rows.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    for (_, row) in rows {
+        table.push(row);
+    }
+    print!("{}", table.render());
+    write_csv(&table, &out, "extended_roster.csv");
+}

@@ -1,0 +1,78 @@
+//! E-F3 — regenerates the paper's **Fig. 3**: accuracy–fairness trade-offs
+//! of all eight off-the-shelf algorithms on the COMPAS dataset with
+//! demographic parity, averaged over the runs. Prints one series per bias
+//! dimension (global / local / individual) with Pareto-front membership
+//! marked, i.e. exactly the data behind the figure's three scatter plots.
+
+use falcc_bench::algos::PoolSet;
+use falcc_bench::report::{f4, pct, write_csv};
+use falcc_bench::{reference_regions, Algo, BenchDataset, Opts, Table};
+use falcc_dataset::{SplitRatios, ThreeWaySplit};
+use falcc_metrics::{pareto_front, FairnessMetric, QualityPoint};
+use std::collections::BTreeMap;
+
+fn main() {
+    let opts = Opts::from_args();
+    let out = opts.ensure_out_dir().to_path_buf();
+    let metric = FairnessMetric::DemographicParity;
+
+    // algo → accumulated (accuracy, global, local, individual).
+    let mut acc: BTreeMap<String, [f64; 4]> = BTreeMap::new();
+    for &seed in &opts.run_seeds() {
+        let ds = BenchDataset::Compas.generate(seed, opts.scale);
+        let split = ThreeWaySplit::split(&ds, SplitRatios::PAPER, seed).expect("split");
+        let pools = PoolSet::build(&split, seed);
+        let regions = reference_regions(&split, seed);
+        for algo in Algo::DEFAULT_SET {
+            let (row, _) = falcc_bench::eval::evaluate_algo(
+                algo, &split, &pools, metric, seed, &regions,
+            );
+            let e = acc.entry(row.algo.clone()).or_insert([0.0; 4]);
+            e[0] += row.accuracy;
+            e[1] += row.global_bias;
+            e[2] += row.local_bias;
+            e[3] += row.individual_bias;
+        }
+    }
+    let runs = opts.runs as f64;
+
+    for (dim, label) in [(1usize, "global"), (2, "local"), (3, "individual")] {
+        let points: Vec<QualityPoint> = acc
+            .iter()
+            .map(|(name, sums)| QualityPoint {
+                name: name.clone(),
+                accuracy: sums[0] / runs,
+                bias: sums[dim] / runs,
+            })
+            .collect();
+        let front: std::collections::HashSet<usize> =
+            pareto_front(&points).into_iter().collect();
+        let mut table = Table::new(
+            format!("Fig. 3 ({label} bias) — COMPAS, demographic parity, % values"),
+            &["algorithm", "accuracy %", "bias %", "L-hat", "pareto"],
+        );
+        let mut rows: Vec<(f64, Vec<String>)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let l_hat = 0.5 * (1.0 - p.accuracy) + 0.5 * p.bias;
+                (
+                    l_hat,
+                    vec![
+                        p.name.clone(),
+                        pct(p.accuracy),
+                        pct(p.bias),
+                        f4(l_hat),
+                        if front.contains(&i) { "*".into() } else { "".into() },
+                    ],
+                )
+            })
+            .collect();
+        rows.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        for (_, row) in rows {
+            table.push(row);
+        }
+        print!("{}", table.render());
+        write_csv(&table, &out, &format!("fig3_tradeoffs_{label}.csv"));
+    }
+}

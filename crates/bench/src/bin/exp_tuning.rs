@@ -1,0 +1,97 @@
+#![allow(clippy::field_reassign_with_default)] // config mutation reads clearer in experiment scripts
+
+//! Auxiliary experiment: FALCC configuration search (pool size, accuracy
+//! margin, split training, cluster spec) against the FALCES/Decouple
+//! references on one dataset. Not a paper artifact — this is the tool used
+//! to pick the repository's default FALCC configuration, kept for
+//! reproducibility of that choice.
+
+use falcc::{ClusterSpec, FalccConfig, FalccModel};
+use falcc_bench::eval::{evaluate, reference_regions};
+use falcc_bench::report::f4;
+use falcc_bench::{BenchDataset, Opts, Table};
+use falcc_bench::algos::{Algo, PoolSet};
+use falcc_dataset::{SplitRatios, ThreeWaySplit};
+use falcc_metrics::{FairnessMetric, LossConfig};
+
+fn main() {
+    let opts = Opts::from_args();
+    let metric = FairnessMetric::DemographicParity;
+    let dataset = BenchDataset::Compas;
+
+    let mut table = Table::new(
+        format!("FALCC configuration search on {} (avg over runs)", dataset.name()),
+        &["config", "accuracy", "global", "local", "individual"],
+    );
+
+    #[derive(Clone, Copy)]
+    struct Variant {
+        name: &'static str,
+        pool_size: usize,
+        margin: f64,
+        split: bool,
+        cluster: ClusterSpec,
+    }
+    let variants = [
+        Variant { name: "pool5 m=.05 logmeans", pool_size: 5, margin: 0.05, split: false, cluster: ClusterSpec::LogMeans },
+        Variant { name: "pool5 m=1.0 logmeans", pool_size: 5, margin: 1.0, split: false, cluster: ClusterSpec::LogMeans },
+        Variant { name: "pool8 m=1.0 logmeans", pool_size: 0, margin: 1.0, split: false, cluster: ClusterSpec::LogMeans },
+        Variant { name: "pool5 m=.05 k=16", pool_size: 5, margin: 0.05, split: false, cluster: ClusterSpec::FixedK(16) },
+        Variant { name: "pool5 m=.05 sbt", pool_size: 5, margin: 0.05, split: true, cluster: ClusterSpec::LogMeans },
+        Variant { name: "pool8 m=1.0 sbt k=16", pool_size: 0, margin: 1.0, split: true, cluster: ClusterSpec::FixedK(16) },
+        Variant { name: "pool5 m=.05 sbt k=16", pool_size: 5, margin: 0.05, split: true, cluster: ClusterSpec::FixedK(16) },
+    ];
+
+    let mut sums = vec![[0.0f64; 4]; variants.len() + 2];
+    for &seed in &opts.run_seeds() {
+        let ds = dataset.generate(seed, opts.scale);
+        let split = ThreeWaySplit::split(&ds, SplitRatios::PAPER, seed).expect("split");
+        let regions = reference_regions(&split, seed);
+        for (vi, v) in variants.iter().enumerate() {
+            let mut cfg = FalccConfig::default();
+            cfg.loss = LossConfig::balanced(metric);
+            cfg.seed = seed;
+            cfg.clustering = v.cluster;
+            cfg.pool.pool_size = v.pool_size;
+            cfg.pool.accuracy_margin = v.margin;
+            cfg.pool.split_by_group = v.split;
+            cfg.pool.seed = seed;
+            let model =
+                FalccModel::fit(&split.train, &split.validation, &cfg).expect("fit");
+            let row = evaluate(&model, &split.test, metric, &regions, 0.0);
+            sums[vi][0] += row.accuracy;
+            sums[vi][1] += row.global_bias;
+            sums[vi][2] += row.local_bias;
+            sums[vi][3] += row.individual_bias;
+        }
+        // References.
+        let pools = PoolSet::build(&split, seed);
+        for (slot, algo) in [(variants.len(), Algo::FalcesBest), (variants.len() + 1, Algo::Decouple)] {
+            let (row, _) = falcc_bench::eval::evaluate_algo(algo, &split, &pools, metric, seed, &regions);
+            sums[slot][0] += row.accuracy;
+            sums[slot][1] += row.global_bias;
+            sums[slot][2] += row.local_bias;
+            sums[slot][3] += row.individual_bias;
+        }
+    }
+    let runs = opts.runs as f64;
+    for (vi, v) in variants.iter().enumerate() {
+        table.push(vec![
+            v.name.to_string(),
+            f4(sums[vi][0] / runs),
+            f4(sums[vi][1] / runs),
+            f4(sums[vi][2] / runs),
+            f4(sums[vi][3] / runs),
+        ]);
+    }
+    for (slot, name) in [(variants.len(), "FALCES-BEST"), (variants.len() + 1, "Decouple")] {
+        table.push(vec![
+            name.to_string(),
+            f4(sums[slot][0] / runs),
+            f4(sums[slot][1] / runs),
+            f4(sums[slot][2] / runs),
+            f4(sums[slot][3] / runs),
+        ]);
+    }
+    print!("{}", table.render());
+}

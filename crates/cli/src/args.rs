@@ -1,0 +1,332 @@
+//! Argument parsing for the `falcc` binary (hand-rolled; the dependency
+//! policy admits no CLI crate).
+
+use crate::CliError;
+use falcc::{ClusterSpec, ProxyStrategy};
+use falcc_metrics::FairnessMetric;
+
+/// The parsed subcommand with its options.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Fit a FALCC model from a CSV file and save it.
+    Train(TrainArgs),
+    /// Classify a CSV file with a saved model.
+    Predict(PredictArgs),
+    /// Fairness audit of a saved model on labeled data.
+    Audit(ModelDataArgs),
+    /// Describe a saved model.
+    Info {
+        /// Path to the saved model JSON.
+        model: String,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// `falcc train` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainArgs {
+    pub data: String,
+    pub sensitive: Vec<String>,
+    pub out: String,
+    pub metric: FairnessMetric,
+    pub lambda: f64,
+    pub proxy: ProxyStrategy,
+    pub clusters: ClusterSpec,
+    pub val_split: f64,
+    pub seed: u64,
+    pub tune: bool,
+}
+
+/// `falcc predict` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictArgs {
+    pub model: String,
+    pub data: String,
+    pub out: Option<String>,
+}
+
+/// Shared `--model` + `--data` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelDataArgs {
+    pub model: String,
+    pub data: String,
+}
+
+/// Alias kept for the library root re-export.
+pub type ParsedArgs = Command;
+
+struct Cursor<'a> {
+    args: &'a [String],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn next_value(&mut self, flag: &str) -> Result<&'a str, CliError> {
+        self.at += 1;
+        self.args
+            .get(self.at - 1)
+            .map(|s| s.as_str())
+            .ok_or_else(|| CliError::usage(format!("missing value for {flag}")))
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, CliError> {
+    s.parse().map_err(|_| CliError::usage(format!("invalid value {s:?} for {flag}")))
+}
+
+/// Parses a full argument vector (without the program name).
+///
+/// # Errors
+/// [`CliError`] (exit code 2) on unknown subcommands/flags or missing
+/// required options.
+pub fn parse(argv: &[String]) -> Result<Command, CliError> {
+    let Some(sub) = argv.first() else {
+        return Ok(Command::Help);
+    };
+    match sub.as_str() {
+        "--help" | "-h" | "help" => Ok(Command::Help),
+        "train" => parse_train(&argv[1..]),
+        "predict" => parse_predict(&argv[1..]),
+        "audit" => parse_model_data(&argv[1..]).map(Command::Audit),
+        "info" => {
+            let mut model = None;
+            let mut cur = Cursor { args: &argv[1..], at: 0 };
+            while cur.at < cur.args.len() {
+                let flag = cur.args[cur.at].clone();
+                cur.at += 1;
+                match flag.as_str() {
+                    "--model" => model = Some(cur.next_value("--model")?.to_string()),
+                    other => {
+                        return Err(CliError::usage(format!("unknown flag {other}")))
+                    }
+                }
+            }
+            Ok(Command::Info {
+                model: model.ok_or_else(|| CliError::usage("info requires --model"))?,
+            })
+        }
+        other => Err(CliError::usage(format!("unknown subcommand {other:?}; see --help"))),
+    }
+}
+
+fn parse_train(args: &[String]) -> Result<Command, CliError> {
+    let mut out = TrainArgs {
+        data: String::new(),
+        sensitive: Vec::new(),
+        out: String::new(),
+        metric: FairnessMetric::DemographicParity,
+        lambda: 0.5,
+        proxy: ProxyStrategy::None,
+        clusters: ClusterSpec::LogMeans,
+        val_split: 0.4,
+        seed: 42,
+        tune: false,
+    };
+    let mut cur = Cursor { args, at: 0 };
+    while cur.at < cur.args.len() {
+        let flag = cur.args[cur.at].clone();
+        cur.at += 1;
+        match flag.as_str() {
+            "--data" => out.data = cur.next_value("--data")?.to_string(),
+            "--sensitive" => out.sensitive.push(cur.next_value("--sensitive")?.to_string()),
+            "--out" => out.out = cur.next_value("--out")?.to_string(),
+            "--metric" => {
+                out.metric = match cur.next_value("--metric")? {
+                    "dp" => FairnessMetric::DemographicParity,
+                    "eq_od" => FairnessMetric::EqualizedOdds,
+                    "eq_op" => FairnessMetric::EqualOpportunity,
+                    "tr_eq" => FairnessMetric::TreatmentEquality,
+                    other => {
+                        return Err(CliError::usage(format!(
+                            "unknown metric {other:?} (dp|eq_od|eq_op|tr_eq)"
+                        )))
+                    }
+                }
+            }
+            "--lambda" => out.lambda = parse_num(cur.next_value("--lambda")?, "--lambda")?,
+            "--proxy" => {
+                out.proxy = match cur.next_value("--proxy")? {
+                    "none" => ProxyStrategy::None,
+                    "reweigh" => ProxyStrategy::Reweigh,
+                    "remove" => ProxyStrategy::PAPER_REMOVE,
+                    other => {
+                        return Err(CliError::usage(format!(
+                            "unknown proxy strategy {other:?} (none|reweigh|remove)"
+                        )))
+                    }
+                }
+            }
+            "--clusters" => {
+                let v = cur.next_value("--clusters")?;
+                out.clusters = match v {
+                    "auto" => ClusterSpec::LogMeans,
+                    "elbow" => ClusterSpec::Elbow,
+                    k => ClusterSpec::FixedK(parse_num(k, "--clusters")?),
+                };
+            }
+            "--val-split" => {
+                out.val_split = parse_num(cur.next_value("--val-split")?, "--val-split")?
+            }
+            "--seed" => out.seed = parse_num(cur.next_value("--seed")?, "--seed")?,
+            "--tune" => out.tune = true,
+            other => return Err(CliError::usage(format!("unknown flag {other}"))),
+        }
+    }
+    if out.data.is_empty() {
+        return Err(CliError::usage("train requires --data"));
+    }
+    if out.sensitive.is_empty() {
+        return Err(CliError::usage("train requires at least one --sensitive column"));
+    }
+    if out.out.is_empty() {
+        return Err(CliError::usage("train requires --out"));
+    }
+    if !(0.0..=1.0).contains(&out.lambda) {
+        return Err(CliError::usage("--lambda must be in [0, 1]"));
+    }
+    if !(out.val_split > 0.0 && out.val_split < 1.0) {
+        return Err(CliError::usage("--val-split must be in (0, 1)"));
+    }
+    Ok(Command::Train(out))
+}
+
+fn parse_predict(args: &[String]) -> Result<Command, CliError> {
+    let mut model = None;
+    let mut data = None;
+    let mut out = None;
+    let mut cur = Cursor { args, at: 0 };
+    while cur.at < cur.args.len() {
+        let flag = cur.args[cur.at].clone();
+        cur.at += 1;
+        match flag.as_str() {
+            "--model" => model = Some(cur.next_value("--model")?.to_string()),
+            "--data" => data = Some(cur.next_value("--data")?.to_string()),
+            "--out" => out = Some(cur.next_value("--out")?.to_string()),
+            other => return Err(CliError::usage(format!("unknown flag {other}"))),
+        }
+    }
+    Ok(Command::Predict(PredictArgs {
+        model: model.ok_or_else(|| CliError::usage("predict requires --model"))?,
+        data: data.ok_or_else(|| CliError::usage("predict requires --data"))?,
+        out,
+    }))
+}
+
+fn parse_model_data(args: &[String]) -> Result<ModelDataArgs, CliError> {
+    let mut model = None;
+    let mut data = None;
+    let mut cur = Cursor { args, at: 0 };
+    while cur.at < cur.args.len() {
+        let flag = cur.args[cur.at].clone();
+        cur.at += 1;
+        match flag.as_str() {
+            "--model" => model = Some(cur.next_value("--model")?.to_string()),
+            "--data" => data = Some(cur.next_value("--data")?.to_string()),
+            other => return Err(CliError::usage(format!("unknown flag {other}"))),
+        }
+    }
+    Ok(ModelDataArgs {
+        model: model.ok_or_else(|| CliError::usage("this command requires --model"))?,
+        data: data.ok_or_else(|| CliError::usage("this command requires --data"))?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn empty_and_help() {
+        assert_eq!(parse(&v(&[])).unwrap(), Command::Help);
+        assert_eq!(parse(&v(&["--help"])).unwrap(), Command::Help);
+        assert_eq!(parse(&v(&["help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn train_full_flags() {
+        let cmd = parse(&v(&[
+            "train", "--data", "d.csv", "--sensitive", "sex", "--sensitive", "race",
+            "--out", "m.json", "--metric", "eq_od", "--lambda", "0.7",
+            "--proxy", "reweigh", "--clusters", "8", "--val-split", "0.3",
+            "--seed", "9", "--tune",
+        ]))
+        .unwrap();
+        let Command::Train(t) = cmd else { panic!("expected train") };
+        assert_eq!(t.sensitive, vec!["sex", "race"]);
+        assert_eq!(t.metric, FairnessMetric::EqualizedOdds);
+        assert_eq!(t.lambda, 0.7);
+        assert_eq!(t.proxy, ProxyStrategy::Reweigh);
+        assert_eq!(t.clusters, ClusterSpec::FixedK(8));
+        assert_eq!(t.val_split, 0.3);
+        assert_eq!(t.seed, 9);
+        assert!(t.tune);
+    }
+
+    #[test]
+    fn train_defaults() {
+        let cmd = parse(&v(&[
+            "train", "--data", "d.csv", "--sensitive", "sex", "--out", "m.json",
+        ]))
+        .unwrap();
+        let Command::Train(t) = cmd else { panic!() };
+        assert_eq!(t.metric, FairnessMetric::DemographicParity);
+        assert_eq!(t.clusters, ClusterSpec::LogMeans);
+        assert!(!t.tune);
+    }
+
+    #[test]
+    fn missing_required_flags_are_usage_errors() {
+        for bad in [
+            vec!["train", "--sensitive", "s", "--out", "m"],
+            vec!["train", "--data", "d", "--out", "m"],
+            vec!["train", "--data", "d", "--sensitive", "s"],
+            vec!["predict", "--data", "d"],
+            vec!["audit", "--model", "m"],
+            vec!["info"],
+        ] {
+            let err = parse(&v(&bad)).unwrap_err();
+            assert_eq!(err.exit_code, 2, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn invalid_values_are_rejected() {
+        let err = parse(&v(&[
+            "train", "--data", "d", "--sensitive", "s", "--out", "m",
+            "--lambda", "1.5",
+        ]))
+        .unwrap_err();
+        assert!(err.message.contains("lambda"));
+        let err = parse(&v(&[
+            "train", "--data", "d", "--sensitive", "s", "--out", "m",
+            "--metric", "nope",
+        ]))
+        .unwrap_err();
+        assert!(err.message.contains("metric"));
+        let err = parse(&v(&["frobnicate"])).unwrap_err();
+        assert!(err.message.contains("subcommand"));
+    }
+
+    #[test]
+    fn predict_and_audit_parse() {
+        let cmd =
+            parse(&v(&["predict", "--model", "m.json", "--data", "d.csv"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Predict(PredictArgs {
+                model: "m.json".into(),
+                data: "d.csv".into(),
+                out: None
+            })
+        );
+        let cmd = parse(&v(&["audit", "--model", "m", "--data", "d"])).unwrap();
+        assert!(matches!(cmd, Command::Audit(_)));
+        let cmd = parse(&v(&["info", "--model", "m"])).unwrap();
+        assert!(matches!(cmd, Command::Info { .. }));
+    }
+}

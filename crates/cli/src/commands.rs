@@ -1,0 +1,293 @@
+//! Implementation of the CLI subcommands. Each returns its stdout text so
+//! the whole flow is unit-testable in-process.
+
+use crate::args::{Command, ModelDataArgs, PredictArgs, TrainArgs};
+use crate::{CliError, USAGE};
+use falcc::{
+    auto_tune, FairClassifier, FalccConfig, FalccModel, SavedFalccModel,
+};
+use falcc_dataset::{csv, Dataset, SplitRatios, ThreeWaySplit};
+use falcc_metrics::individual::consistency;
+use falcc_metrics::{accuracy, FairnessMetric, LossConfig};
+use std::fmt::Write as _;
+
+/// Executes one parsed command.
+///
+/// # Errors
+/// [`CliError`] with exit code 1 on runtime failures.
+pub fn execute(command: Command) -> Result<String, CliError> {
+    match command {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Train(args) => train(args),
+        Command::Predict(args) => predict(args),
+        Command::Audit(args) => audit(args),
+        Command::Info { model } => info(&model),
+    }
+}
+
+fn load_dataset(path: &str, sensitive: &[(&str, Vec<f64>)]) -> Result<Dataset, CliError> {
+    csv::read_csv_file(path, sensitive)
+        .map_err(|e| CliError::runtime(format!("reading {path}: {e}")))
+}
+
+fn load_model(path: &str) -> Result<FalccModel, CliError> {
+    Ok(SavedFalccModel::load_file(path)
+        .map_err(|e| CliError::runtime(format!("loading model {path}: {e}")))?
+        .restore())
+}
+
+fn train(args: TrainArgs) -> Result<String, CliError> {
+    let sensitive: Vec<(&str, Vec<f64>)> =
+        args.sensitive.iter().map(|s| (s.as_str(), vec![0.0, 1.0])).collect();
+    let data = load_dataset(&args.data, &sensitive)?;
+
+    // Internal train/validation split (no test needed — the caller keeps
+    // their own held-out data for `audit`).
+    let ratios = SplitRatios {
+        train: 1.0 - args.val_split,
+        validation: args.val_split * 0.999,
+        test: args.val_split * 0.001,
+    };
+    let split = ThreeWaySplit::split(&data, ratios, args.seed)
+        .map_err(|e| CliError::runtime(format!("splitting data: {e}")))?;
+
+    let mut config = FalccConfig {
+        loss: LossConfig { lambda: args.lambda, metric: args.metric },
+        proxy: args.proxy,
+        clustering: args.clusters,
+        seed: args.seed,
+        ..FalccConfig::default()
+    };
+    config.pool.seed = args.seed;
+
+    let mut out = String::new();
+    if args.tune {
+        let report = auto_tune(&split.train, &split.validation, &config)
+            .map_err(|e| CliError::runtime(format!("auto-tuning: {e}")))?;
+        let _ = writeln!(
+            out,
+            "auto-tune chose {:?} with pool size {} (best holdout local L-hat {:.4})",
+            report.chosen.clustering,
+            report.chosen.pool.pool_size,
+            report.trials[0].holdout_local_l_hat
+        );
+        config = report.chosen;
+    }
+
+    let model = FalccModel::fit(&split.train, &split.validation, &config)
+        .map_err(|e| CliError::runtime(format!("fitting FALCC: {e}")))?;
+    SavedFalccModel::capture(&model)
+        .and_then(|saved| saved.save_file(&args.out))
+        .map_err(|e| CliError::runtime(format!("saving model: {e}")))?;
+
+    let _ = writeln!(
+        out,
+        "trained FALCC on {} rows ({} train / {} validation): pool of {} models, {} local regions",
+        data.len(),
+        split.train.len(),
+        split.validation.len(),
+        model.pool().len(),
+        model.n_regions()
+    );
+    let _ = writeln!(out, "model written to {}", args.out);
+    Ok(out)
+}
+
+fn predict(args: PredictArgs) -> Result<String, CliError> {
+    let model = load_model(&args.model)?;
+    let sensitive = sensitive_decl_of(&model);
+    let data = load_dataset(&args.data, &as_refs(&sensitive))?;
+    let preds = model.predict_dataset(&data);
+
+    let mut body = String::with_capacity(preds.len() * 2 + 16);
+    body.push_str("prediction\n");
+    for p in &preds {
+        body.push(if *p == 1 { '1' } else { '0' });
+        body.push('\n');
+    }
+    match &args.out {
+        Some(path) => {
+            std::fs::write(path, &body)
+                .map_err(|e| CliError::runtime(format!("writing {path}: {e}")))?;
+            Ok(format!("wrote {} predictions to {path}\n", preds.len()))
+        }
+        None => Ok(body),
+    }
+}
+
+fn audit(args: ModelDataArgs) -> Result<String, CliError> {
+    let model = load_model(&args.model)?;
+    let sensitive = sensitive_decl_of(&model);
+    let data = load_dataset(&args.data, &as_refs(&sensitive))?;
+    let preds = model.predict_dataset(&data);
+    let y = data.labels();
+    let g = data.groups();
+    let n_groups = data.group_index().len();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "samples: {}   regions: {}", data.len(), model.n_regions());
+    let _ = writeln!(out, "accuracy: {:.2}%", accuracy(y, &preds) * 100.0);
+    for metric in FairnessMetric::ALL {
+        let _ = writeln!(
+            out,
+            "{:<22} {:.2}%",
+            format!("{metric}:"),
+            metric.bias(y, &preds, g, n_groups) * 100.0
+        );
+    }
+    let attrs = data.schema().non_sensitive_attrs();
+    let projected = data.project(&attrs, None);
+    let _ = writeln!(
+        out,
+        "consistency (k=5):     {:.2}%",
+        consistency(&projected, &preds, 5) * 100.0
+    );
+
+    // Per-region breakdown over the model's own regions.
+    let _ = writeln!(out, "\nper-region (demographic parity):");
+    let _ = writeln!(out, "{:<8} {:>6} {:>10} {:>9}", "region", "size", "accuracy", "dp bias");
+    let regions: Vec<usize> =
+        (0..data.len()).map(|i| model.assign_region(data.row(i))).collect();
+    for r in 0..model.n_regions() {
+        let idx: Vec<usize> = (0..data.len()).filter(|&i| regions[i] == r).collect();
+        if idx.is_empty() {
+            continue;
+        }
+        let yr: Vec<u8> = idx.iter().map(|&i| y[i]).collect();
+        let zr: Vec<u8> = idx.iter().map(|&i| preds[i]).collect();
+        let gr: Vec<_> = idx.iter().map(|&i| g[i]).collect();
+        let _ = writeln!(
+            out,
+            "C{:<7} {:>6} {:>9.1}% {:>8.2}%",
+            r + 1,
+            idx.len(),
+            accuracy(&yr, &zr) * 100.0,
+            FairnessMetric::DemographicParity.bias(&yr, &zr, &gr, n_groups) * 100.0
+        );
+    }
+    Ok(out)
+}
+
+fn info(model_path: &str) -> Result<String, CliError> {
+    let model = load_model(model_path)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "algorithm: {}", model.name());
+    let _ = writeln!(out, "local regions: {}", model.n_regions());
+    let _ = writeln!(out, "model pool ({} members):", model.pool().len());
+    for (i, m) in model.pool().models.iter().enumerate() {
+        let scope = match m.group {
+            None => "all groups".to_string(),
+            Some(g) => format!("group {g}"),
+        };
+        let _ = writeln!(out, "  m{i}: {} [{scope}]", m.model.name());
+    }
+    let proxy = model.proxy_outcome();
+    let _ = writeln!(
+        out,
+        "clustering attributes: {} ({} removed as proxies, weights: {})",
+        proxy.attrs.len(),
+        proxy.removed.len(),
+        if proxy.weights.is_some() { "yes" } else { "no" }
+    );
+    let _ = writeln!(out, "assessment: λ = {}, metric = {}", model.loss_config().lambda, model.loss_config().metric);
+    for c in 0..model.n_regions() {
+        let combo: Vec<String> =
+            model.combo(c).iter().map(|m| format!("m{m}")).collect();
+        let _ = writeln!(out, "  region C{}: [{}]", c + 1, combo.join(", "));
+    }
+    Ok(out)
+}
+
+/// The `(name, domain)` sensitive declaration the model was trained with,
+/// read from its stored schema, for CSV loading by header name.
+fn sensitive_decl_of(model: &FalccModel) -> Vec<(String, Vec<f64>)> {
+    let schema = model.schema();
+    schema
+        .sensitive()
+        .iter()
+        .map(|s| (schema.attr_name(s.attr).to_string(), s.domain.clone()))
+        .collect()
+}
+
+fn as_refs(decl: &[(String, Vec<f64>)]) -> Vec<(&str, Vec<f64>)> {
+    decl.iter().map(|(n, d)| (n.as_str(), d.clone())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::args;
+
+    fn v(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// Writes a small learnable-but-biased CSV and returns its path.
+    fn write_csv(path: &std::path::Path, n: usize, seed: u64) -> String {
+        use std::fmt::Write as _;
+        let mut text = String::from("sex,f0,f1,label\n");
+        let mut state = seed;
+        let mut rand = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            // Top 31 bits scaled into [-1, 1).
+            ((state >> 33) as f64 / (1u64 << 30) as f64) - 1.0
+        };
+        for _ in 0..n {
+            let sex = u8::from(rand() > 0.0);
+            let f0 = rand() * 2.0;
+            let f1 = rand() * 2.0;
+            let threshold = if sex == 1 { 0.5 } else { -0.2 };
+            let label = u8::from(f0 + 0.5 * f1 > threshold);
+            let _ = writeln!(text, "{sex},{f0:.4},{f1:.4},{label}");
+        }
+        std::fs::write(path, text).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn end_to_end_train_predict_audit_info() {
+        let dir = std::env::temp_dir().join("falcc_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let train_csv = write_csv(&dir.join("train.csv"), 600, 1);
+        let test_csv = write_csv(&dir.join("test.csv"), 150, 2);
+        let model_path = dir.join("model.json").to_string_lossy().into_owned();
+
+        let out = crate::run(&v(&[
+            "train", "--data", &train_csv, "--sensitive", "sex", "--out", &model_path,
+            "--clusters", "3", "--seed", "5",
+        ]))
+        .unwrap();
+        assert!(out.contains("trained FALCC"), "{out}");
+        assert!(std::path::Path::new(&model_path).exists());
+
+        let preds = crate::run(&v(&[
+            "predict", "--model", &model_path, "--data", &test_csv,
+        ]))
+        .unwrap();
+        assert!(preds.starts_with("prediction\n"));
+        assert_eq!(preds.lines().count(), 151);
+
+        let audit_out =
+            crate::run(&v(&["audit", "--model", &model_path, "--data", &test_csv]))
+                .unwrap();
+        assert!(audit_out.contains("accuracy:"), "{audit_out}");
+        assert!(audit_out.contains("demographic parity"), "{audit_out}");
+        assert!(audit_out.contains("per-region"), "{audit_out}");
+
+        let info_out = crate::run(&v(&["info", "--model", &model_path])).unwrap();
+        assert!(info_out.contains("local regions"), "{info_out}");
+        assert!(info_out.contains("m0:"), "{info_out}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn runtime_errors_have_exit_code_one() {
+        let err = crate::run(&v(&[
+            "predict", "--model", "/nonexistent/model.json", "--data", "x.csv",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code, 1);
+        let err = args::parse(&v(&["train"])).unwrap_err();
+        assert_eq!(err.exit_code, 2);
+    }
+}

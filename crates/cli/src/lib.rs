@@ -1,0 +1,78 @@
+//! # falcc-cli
+//!
+//! Command-line workflow around the `falcc` library:
+//!
+//! ```text
+//! falcc train   --data train.csv --sensitive sex --out model.json
+//! falcc predict --model model.json --data new.csv --out predictions.csv
+//! falcc audit   --model model.json --data test.csv
+//! falcc info    --model model.json
+//! ```
+//!
+//! CSV format: header row, numeric cells, binary label in the **last**
+//! column (see `falcc_dataset::csv`). Sensitive attributes are named by
+//! header and must be `0/1`-coded; pass `--sensitive` repeatedly for
+//! intersectional groups.
+//!
+//! The command logic lives in this library crate (returning the output as
+//! a `String`) so it is unit-testable without spawning processes; the
+//! `falcc` binary is a thin `main` around [`run`].
+
+pub mod args;
+pub mod commands;
+
+pub use args::{Command, ParsedArgs};
+
+/// Error type for CLI operations: a human-readable message plus the
+/// process exit code to use.
+#[derive(Debug)]
+pub struct CliError {
+    /// The message printed to stderr.
+    pub message: String,
+    /// Process exit code (2 = usage, 1 = runtime failure).
+    pub exit_code: i32,
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl CliError {
+    pub(crate) fn usage(message: impl Into<String>) -> Self {
+        Self { message: message.into(), exit_code: 2 }
+    }
+
+    pub(crate) fn runtime(message: impl Into<String>) -> Self {
+        Self { message: message.into(), exit_code: 1 }
+    }
+}
+
+/// Parses and executes one CLI invocation, returning the text to print.
+///
+/// # Errors
+/// [`CliError`] with a usage (exit 2) or runtime (exit 1) failure.
+pub fn run(argv: &[String]) -> Result<String, CliError> {
+    let parsed = args::parse(argv)?;
+    commands::execute(parsed)
+}
+
+/// Usage text shown by `--help` and on argument errors.
+pub const USAGE: &str = "\
+falcc — locally fair and accurate classification (FALCC, EDBT 2024)
+
+USAGE:
+  falcc train   --data <csv> --sensitive <col> [--sensitive <col>…] --out <model.json>
+                [--metric dp|eq_od|eq_op|tr_eq] [--lambda <0..1>]
+                [--proxy none|reweigh|remove] [--clusters auto|elbow|<k>]
+                [--val-split <0..1>] [--seed <u64>] [--tune]
+  falcc predict --model <model.json> --data <csv> [--out <csv>]
+  falcc audit   --model <model.json> --data <csv>
+  falcc info    --model <model.json>
+
+CSV format: header row, numeric cells, binary label in the last column.
+Sensitive columns must be 0/1-coded.
+";

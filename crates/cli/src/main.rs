@@ -1,0 +1,16 @@
+//! The `falcc` command-line binary — a thin wrapper around
+//! [`falcc_cli::run`].
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match falcc_cli::run(&argv) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            if e.exit_code == 2 {
+                eprintln!("\n{}", falcc_cli::USAGE);
+            }
+            std::process::exit(e.exit_code);
+        }
+    }
+}

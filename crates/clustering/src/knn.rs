@@ -1,0 +1,380 @@
+//! A kd-tree k-nearest-neighbour index over `f64` points.
+//!
+//! Used by three parts of the reproduction:
+//! * the FALCES baselines' online phase, which computes the kNN of every
+//!   new sample (the cost FALCC's offline clustering avoids — Fig. 6);
+//! * FALCC's cluster *gap-filling*, which pulls in the nearest
+//!   representatives of sensitive groups missing from a cluster (§3.5);
+//! * the consistency metric on large inputs.
+//!
+//! The tree splits on the axis of maximum spread at the median, stores
+//! point indices, and answers queries with branch-and-bound pruning. For
+//! the dataset sizes in the paper (≤ 72k rows, ≤ 91 dims) this is
+//! comfortably fast while remaining dependency-free.
+
+use falcc_dataset::dataset::ProjectedMatrix;
+
+/// A kd-tree over the rows of a [`ProjectedMatrix`].
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct KdTree {
+    points: ProjectedMatrix,
+    nodes: Vec<Node>,
+    root: Option<usize>,
+}
+
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+enum Node {
+    Leaf {
+        /// Indices into `points`.
+        indices: Vec<u32>,
+    },
+    Split {
+        axis: u16,
+        value: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+const LEAF_SIZE: usize = 16;
+
+impl KdTree {
+    /// Builds a tree over all rows of `points`. The matrix is moved in; use
+    /// [`Self::point`] to read points back.
+    pub fn build(points: ProjectedMatrix) -> Self {
+        let mut tree = Self { points, nodes: Vec::new(), root: None };
+        if tree.points.n_rows > 0 {
+            let mut indices: Vec<u32> = (0..tree.points.n_rows as u32).collect();
+            let root = tree.build_node(&mut indices);
+            tree.root = Some(root);
+        }
+        tree
+    }
+
+    fn build_node(&mut self, indices: &mut [u32]) -> usize {
+        if indices.len() <= LEAF_SIZE {
+            self.nodes.push(Node::Leaf { indices: indices.to_vec() });
+            return self.nodes.len() - 1;
+        }
+        // Split on the axis with the largest spread among these points.
+        let d = self.points.n_cols;
+        let mut axis = 0usize;
+        let mut best_spread = f64::MIN;
+        for a in 0..d {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for &i in indices.iter() {
+                let v = self.points.row(i as usize)[a];
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            if hi - lo > best_spread {
+                best_spread = hi - lo;
+                axis = a;
+            }
+        }
+        if best_spread <= 0.0 {
+            // All points identical: leaf regardless of size.
+            self.nodes.push(Node::Leaf { indices: indices.to_vec() });
+            return self.nodes.len() - 1;
+        }
+        let mid = indices.len() / 2;
+        indices.select_nth_unstable_by(mid, |&a, &b| {
+            let va = self.points.row(a as usize)[axis];
+            let vb = self.points.row(b as usize)[axis];
+            va.partial_cmp(&vb).expect("coordinates are finite")
+        });
+        let split_value = self.points.row(indices[mid] as usize)[axis];
+        let (left_slice, right_slice) = indices.split_at_mut(mid);
+        // Recursion order: children are created before the parent node.
+        let mut left_vec = left_slice.to_vec();
+        let mut right_vec = right_slice.to_vec();
+        let left = self.build_node(&mut left_vec);
+        let right = self.build_node(&mut right_vec);
+        self.nodes.push(Node::Split { axis: axis as u16, value: split_value, left, right });
+        self.nodes.len() - 1
+    }
+
+    /// Number of indexed points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.n_rows
+    }
+
+    /// `true` when no points are indexed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.n_rows == 0
+    }
+
+    /// The coordinates of indexed point `i`.
+    #[inline]
+    pub fn point(&self, i: usize) -> &[f64] {
+        self.points.row(i)
+    }
+
+    /// The `k` nearest neighbours of `query`, as `(index, squared
+    /// distance)` sorted by ascending distance. Returns fewer than `k`
+    /// pairs when the tree holds fewer points.
+    ///
+    /// # Panics
+    /// Panics if the query dimensionality does not match the indexed
+    /// points.
+    pub fn nearest(&self, query: &[f64], k: usize) -> Vec<(usize, f64)> {
+        assert_eq!(query.len(), self.points.n_cols, "query dimensionality mismatch");
+        let Some(root) = self.root else { return Vec::new() };
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut heap = BoundedMaxHeap::new(k);
+        self.search(root, query, &mut heap);
+        heap.into_sorted()
+    }
+
+    /// Like [`Self::nearest`] but keeps only points accepted by `filter`
+    /// (e.g. "members of sensitive group g" for FALCC's gap-filling).
+    pub fn nearest_filtered(
+        &self,
+        query: &[f64],
+        k: usize,
+        mut filter: impl FnMut(usize) -> bool,
+    ) -> Vec<(usize, f64)> {
+        assert_eq!(query.len(), self.points.n_cols, "query dimensionality mismatch");
+        let Some(root) = self.root else { return Vec::new() };
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut heap = BoundedMaxHeap::new(k);
+        self.search_filtered(root, query, &mut heap, &mut filter);
+        heap.into_sorted()
+    }
+
+    fn search(&self, node: usize, query: &[f64], heap: &mut BoundedMaxHeap) {
+        self.search_filtered(node, query, heap, &mut |_| true);
+    }
+
+    fn search_filtered(
+        &self,
+        node: usize,
+        query: &[f64],
+        heap: &mut BoundedMaxHeap,
+        filter: &mut impl FnMut(usize) -> bool,
+    ) {
+        match &self.nodes[node] {
+            Node::Leaf { indices } => {
+                for &i in indices {
+                    let i = i as usize;
+                    if filter(i) {
+                        heap.push(i, sq_dist(query, self.points.row(i)));
+                    }
+                }
+            }
+            Node::Split { axis, value, left, right } => {
+                let delta = query[*axis as usize] - value;
+                let (near, far) = if delta < 0.0 { (*left, *right) } else { (*right, *left) };
+                self.search_filtered(near, query, heap, filter);
+                // Visit the far side only if the splitting plane is closer
+                // than the current k-th best (or the heap is not full).
+                if !heap.is_full() || delta * delta < heap.worst() {
+                    self.search_filtered(far, query, heap, filter);
+                }
+            }
+        }
+    }
+}
+
+/// Fixed-capacity max-heap keeping the k smallest distances seen.
+struct BoundedMaxHeap {
+    k: usize,
+    // (distance, index); max element first.
+    items: Vec<(f64, usize)>,
+}
+
+impl BoundedMaxHeap {
+    fn new(k: usize) -> Self {
+        Self { k, items: Vec::with_capacity(k + 1) }
+    }
+
+    fn is_full(&self) -> bool {
+        self.items.len() >= self.k
+    }
+
+    fn worst(&self) -> f64 {
+        self.items.first().map_or(f64::INFINITY, |&(d, _)| d)
+    }
+
+    fn push(&mut self, index: usize, dist: f64) {
+        if self.is_full() && dist >= self.worst() {
+            return;
+        }
+        self.items.push((dist, index));
+        self.sift_up(self.items.len() - 1);
+        if self.items.len() > self.k {
+            self.pop_max();
+        }
+    }
+
+    fn pop_max(&mut self) {
+        let last = self.items.len() - 1;
+        self.items.swap(0, last);
+        self.items.pop();
+        self.sift_down(0);
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.items[i].0 > self.items[parent].0 {
+                self.items.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut largest = i;
+            if l < self.items.len() && self.items[l].0 > self.items[largest].0 {
+                largest = l;
+            }
+            if r < self.items.len() && self.items[r].0 > self.items[largest].0 {
+                largest = r;
+            }
+            if largest == i {
+                break;
+            }
+            self.items.swap(i, largest);
+            i = largest;
+        }
+    }
+
+    fn into_sorted(self) -> Vec<(usize, f64)> {
+        let mut v: Vec<(usize, f64)> =
+            self.items.into_iter().map(|(d, i)| (i, d)).collect();
+        v.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are finite"));
+        v
+    }
+}
+
+#[inline]
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    fn random_matrix(n: usize, d: usize, seed: u64) -> ProjectedMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        ProjectedMatrix {
+            data: (0..n * d).map(|_| rng.gen_range(-10.0..10.0)).collect(),
+            n_cols: d,
+            n_rows: n,
+        }
+    }
+
+    fn brute_force(x: &ProjectedMatrix, q: &[f64], k: usize) -> Vec<(usize, f64)> {
+        let mut all: Vec<(usize, f64)> =
+            (0..x.n_rows).map(|i| (i, sq_dist(q, x.row(i)))).collect();
+        all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let x = random_matrix(500, 5, 1);
+        let tree = KdTree::build(x.clone());
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let q: Vec<f64> = (0..5).map(|_| rng.gen_range(-12.0..12.0)).collect();
+            let expect = brute_force(&x, &q, 7);
+            let got = tree.nearest(&q, 7);
+            let e_idx: Vec<f64> = expect.iter().map(|&(_, d)| d).collect();
+            let g_idx: Vec<f64> = got.iter().map(|&(_, d)| d).collect();
+            assert_eq!(g_idx.len(), 7);
+            for (a, b) in e_idx.iter().zip(&g_idx) {
+                assert!((a - b).abs() < 1e-9, "distance mismatch");
+            }
+        }
+    }
+
+    #[test]
+    fn filtered_query_respects_predicate() {
+        let x = random_matrix(200, 3, 3);
+        let tree = KdTree::build(x.clone());
+        let q = [0.0, 0.0, 0.0];
+        // Only even indices allowed.
+        let got = tree.nearest_filtered(&q, 5, |i| i % 2 == 0);
+        assert_eq!(got.len(), 5);
+        assert!(got.iter().all(|&(i, _)| i % 2 == 0));
+        // Equals brute force restricted to even indices.
+        let mut all: Vec<(usize, f64)> = (0..x.n_rows)
+            .filter(|i| i % 2 == 0)
+            .map(|i| (i, sq_dist(&q, x.row(i))))
+            .collect();
+        all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        for (e, g) in all[..5].iter().zip(&got) {
+            assert!((e.1 - g.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fewer_points_than_k() {
+        let x = random_matrix(3, 2, 4);
+        let tree = KdTree::build(x);
+        let got = tree.nearest(&[0.0, 0.0], 10);
+        assert_eq!(got.len(), 3);
+        // Sorted ascending.
+        assert!(got.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn duplicate_points_are_handled() {
+        let x = ProjectedMatrix {
+            data: vec![1.0; 100], // 50 identical 2-d points
+            n_cols: 2,
+            n_rows: 50,
+        };
+        let tree = KdTree::build(x);
+        let got = tree.nearest(&[1.0, 1.0], 5);
+        assert_eq!(got.len(), 5);
+        assert!(got.iter().all(|&(_, d)| d < 1e-12));
+    }
+
+    #[test]
+    fn empty_tree_and_zero_k() {
+        let x = ProjectedMatrix { data: vec![], n_cols: 2, n_rows: 0 };
+        let tree = KdTree::build(x);
+        assert!(tree.is_empty());
+        assert!(tree.nearest(&[0.0, 0.0], 3).is_empty());
+        let x = random_matrix(10, 2, 5);
+        let tree = KdTree::build(x);
+        assert!(tree.nearest(&[0.0, 0.0], 0).is_empty());
+        assert_eq!(tree.len(), 10);
+    }
+
+    #[test]
+    fn exact_match_is_found_first() {
+        let x = random_matrix(100, 4, 6);
+        let target = x.row(42).to_vec();
+        let tree = KdTree::build(x);
+        let got = tree.nearest(&target, 1);
+        assert_eq!(got[0].0, 42);
+        assert!(got[0].1 < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality")]
+    fn wrong_dimensionality_panics() {
+        let tree = KdTree::build(random_matrix(10, 3, 7));
+        tree.nearest(&[0.0, 0.0], 1);
+    }
+}

@@ -1,0 +1,123 @@
+//! FALCC pipeline configuration.
+
+use crate::proxy::ProxyStrategy;
+use falcc_metrics::{FairnessMetric, LossConfig};
+use falcc_models::PoolConfig;
+
+/// How the clustering component chooses its number of local regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterSpec {
+    /// Fixed `k`. `FixedK(1)` recovers *global* fairness (paper §3.1).
+    FixedK(usize),
+    /// LOG-Means automatic estimation (the paper's default).
+    LogMeans,
+    /// Elbow-method estimation (ablation alternative).
+    Elbow,
+}
+
+/// Full configuration of the FALCC offline phase.
+#[derive(Debug, Clone)]
+pub struct FalccConfig {
+    /// The Eq. 2 loss used for model assessment (λ and fairness metric).
+    pub loss: LossConfig,
+    /// Proxy-discrimination mitigation strategy (§3.4).
+    pub proxy: ProxyStrategy,
+    /// Local-region construction (§3.5).
+    pub clustering: ClusterSpec,
+    /// Number of nearest neighbours pulled in per missing group during
+    /// cluster gap-filling (the paper fixes this to the FALCES `k = 15`).
+    pub gap_fill_k: usize,
+    /// Diverse-model-training configuration (§3.3).
+    pub pool: PoolConfig,
+    /// When set, model assessment optimises **individual** fairness
+    /// instead of the group metric: the unfairness term of Eq. 2 becomes
+    /// `1 − consistency` over each sample's k nearest neighbours *within
+    /// its cluster* — the paper's "clusters as substitutes for kNN"
+    /// efficiency shortcut (§3.6). The group metric in [`Self::loss`] is
+    /// then ignored during assessment (λ still applies).
+    pub individual_assessment_k: Option<usize>,
+    /// Master RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FalccConfig {
+    fn default() -> Self {
+        Self {
+            loss: LossConfig::balanced(FairnessMetric::DemographicParity),
+            proxy: ProxyStrategy::None,
+            clustering: ClusterSpec::LogMeans,
+            gap_fill_k: 15,
+            pool: PoolConfig::default(),
+            individual_assessment_k: None,
+            seed: 0,
+        }
+    }
+}
+
+impl FalccConfig {
+    /// Shrinks the expensive knobs so unit tests and doctests stay fast:
+    /// a small fixed cluster count and a 3-model pool.
+    pub fn scale_for_tests(&mut self) {
+        self.clustering = ClusterSpec::FixedK(4);
+        self.pool.pool_size = 3;
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    /// [`crate::FalccError::InvalidConfig`] on violations.
+    pub fn validate(&self) -> Result<(), crate::FalccError> {
+        if let ClusterSpec::FixedK(0) = self.clustering {
+            return Err(crate::FalccError::InvalidConfig {
+                detail: "cluster count must be at least 1".into(),
+            });
+        }
+        if self.gap_fill_k == 0 {
+            return Err(crate::FalccError::InvalidConfig {
+                detail: "gap_fill_k must be at least 1".into(),
+            });
+        }
+        if !(0.0..=1.0).contains(&self.loss.lambda) {
+            return Err(crate::FalccError::InvalidConfig {
+                detail: format!("lambda {} outside [0,1]", self.loss.lambda),
+            });
+        }
+        if self.individual_assessment_k == Some(0) {
+            return Err(crate::FalccError::InvalidConfig {
+                detail: "individual_assessment_k must be at least 1".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // explicit mutation reads clearer in tests
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let cfg = FalccConfig::default();
+        assert_eq!(cfg.loss.lambda, 0.5);
+        assert_eq!(cfg.loss.metric, FairnessMetric::DemographicParity);
+        assert_eq!(cfg.clustering, ClusterSpec::LogMeans);
+        assert_eq!(cfg.gap_fill_k, 15);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut cfg = FalccConfig::default();
+        cfg.clustering = ClusterSpec::FixedK(0);
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = FalccConfig::default();
+        cfg.gap_fill_k = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = FalccConfig::default();
+        cfg.loss.lambda = 1.5;
+        assert!(cfg.validate().is_err());
+    }
+}

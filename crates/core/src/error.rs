@@ -1,0 +1,71 @@
+//! Error type for the FALCC pipeline.
+
+use falcc_dataset::DatasetError;
+use std::fmt;
+
+/// Errors raised while fitting or applying a FALCC model.
+#[derive(Debug)]
+pub enum FalccError {
+    /// Underlying dataset manipulation failed.
+    Dataset(DatasetError),
+    /// The model pool contains no model applicable to some group, so no
+    /// combination can be formed.
+    NoApplicableModel {
+        /// The uncovered group index.
+        group: usize,
+    },
+    /// The validation set lacks any sample of a sensitive group entirely,
+    /// so even gap-filling cannot assess that group.
+    GroupAbsent {
+        /// The absent group index.
+        group: usize,
+    },
+    /// Configuration is internally inconsistent.
+    InvalidConfig {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for FalccError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Dataset(e) => write!(f, "dataset error: {e}"),
+            Self::NoApplicableModel { group } => {
+                write!(f, "no model in the pool is applicable to group {group}")
+            }
+            Self::GroupAbsent { group } => {
+                write!(f, "validation data contains no sample of group {group}")
+            }
+            Self::InvalidConfig { detail } => write!(f, "invalid configuration: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for FalccError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Dataset(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DatasetError> for FalccError {
+    fn from(e: DatasetError) -> Self {
+        Self::Dataset(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert!(FalccError::NoApplicableModel { group: 2 }.to_string().contains("group 2"));
+        assert!(FalccError::GroupAbsent { group: 1 }.to_string().contains("group 1"));
+        let e: FalccError = DatasetError::Empty.into();
+        assert!(e.to_string().contains("empty"));
+    }
+}

@@ -1,0 +1,53 @@
+//! The framework-level trait every fair classifier in this workspace
+//! implements.
+//!
+//! The paper's framework (§3.1) accommodates FALCC itself and the whole
+//! family of comparison algorithms — anything that turns a full-width
+//! sample row into a binary decision. The experiment harness and the
+//! runnable examples program against this trait so algorithms are freely
+//! interchangeable.
+
+/// A fitted fairness-aware classifier ready for the online phase.
+pub trait FairClassifier: Send + Sync {
+    /// Classifies one full-width sample row (all attributes, including
+    /// sensitive ones — implementations decide what they consume).
+    fn predict_row(&self, row: &[f64]) -> u8;
+
+    /// Algorithm name as used in the paper's tables.
+    fn name(&self) -> &str;
+
+    /// Classifies every row of a dataset.
+    fn predict_dataset(&self, ds: &falcc_dataset::Dataset) -> Vec<u8> {
+        (0..ds.len()).map(|i| self.predict_row(ds.row(i))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use falcc_dataset::{Dataset, Schema};
+
+    struct Always(u8);
+    impl FairClassifier for Always {
+        fn predict_row(&self, _row: &[f64]) -> u8 {
+            self.0
+        }
+        fn name(&self) -> &str {
+            "always"
+        }
+    }
+
+    #[test]
+    fn default_dataset_prediction_maps_rows() {
+        let schema =
+            Schema::with_binary_sensitive(vec!["s".into(), "f".into()], 0, "y").unwrap();
+        let ds = Dataset::from_rows(
+            schema,
+            vec![vec![0.0, 1.0], vec![1.0, 2.0]],
+            vec![0, 1],
+        )
+        .unwrap();
+        assert_eq!(Always(1).predict_dataset(&ds), vec![1, 1]);
+        assert_eq!(Always(0).name(), "always");
+    }
+}

@@ -1,0 +1,242 @@
+//! Persistence of fitted FALCC models.
+//!
+//! The offline phase is the expensive part of FALCC (paper §3.1); a real
+//! deployment runs it once and ships the result. [`SavedFalccModel`]
+//! captures everything the online phase needs — the model pool, the
+//! cluster centroids, the per-cluster combinations, and the proxy
+//! projection — as plain JSON.
+//!
+//! ```
+//! use falcc::{FairClassifier, FalccConfig, FalccModel, SavedFalccModel};
+//! use falcc_dataset::{synthetic, SplitRatios, ThreeWaySplit};
+//!
+//! let data = synthetic::social30(7).unwrap();
+//! let data = data.subset(&(0..900).collect::<Vec<_>>()).unwrap();
+//! let split = ThreeWaySplit::split(&data, SplitRatios::PAPER, 7).unwrap();
+//! let mut config = FalccConfig::default();
+//! config.scale_for_tests();
+//! let model = FalccModel::fit(&split.train, &split.validation, &config).unwrap();
+//!
+//! let json = SavedFalccModel::capture(&model).unwrap().to_json().unwrap();
+//! let revived = SavedFalccModel::from_json(&json).unwrap().restore();
+//! assert_eq!(revived.predict_row(split.test.row(0)),
+//!            model.predict_row(split.test.row(0)));
+//! ```
+
+use crate::error::FalccError;
+use crate::offline::FalccModel;
+use crate::proxy::ProxyOutcome;
+use falcc_clustering::KMeansModel;
+use falcc_dataset::{GroupId, GroupIndex};
+use falcc_metrics::LossConfig;
+use falcc_models::{ModelPool, ModelSpec, TrainedModel};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// A serialisable snapshot of a fitted [`FalccModel`].
+#[derive(Debug, Serialize, Deserialize)]
+pub struct SavedFalccModel {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    schema: falcc_dataset::Schema,
+    pool: Vec<(ModelSpec, Option<GroupId>)>,
+    kmeans: KMeansModel,
+    combos: Vec<Vec<usize>>,
+    proxy: ProxyOutcome,
+    group_index: GroupIndex,
+    loss: LossConfig,
+    name: String,
+}
+
+/// Current snapshot format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+impl SavedFalccModel {
+    /// Captures a fitted model. Fails if the pool contains a model that
+    /// does not support persistence (a custom [`falcc_models::Classifier`]
+    /// returning `None` from `to_spec`).
+    ///
+    /// # Errors
+    /// [`FalccError::InvalidConfig`] naming the unsupported model.
+    pub fn capture(model: &FalccModel) -> Result<Self, FalccError> {
+        let mut pool = Vec::with_capacity(model.pool.models.len());
+        for member in &model.pool.models {
+            let spec = member.model.to_spec().ok_or_else(|| FalccError::InvalidConfig {
+                detail: format!(
+                    "model {:?} does not support persistence",
+                    member.model.name()
+                ),
+            })?;
+            pool.push((spec, member.group));
+        }
+        Ok(Self {
+            version: FORMAT_VERSION,
+            schema: model.schema.clone(),
+            pool,
+            kmeans: model.kmeans.clone(),
+            combos: model.combos.clone(),
+            proxy: model.proxy.clone(),
+            group_index: model.group_index.clone(),
+            loss: model.loss,
+            name: model.name.clone(),
+        })
+    }
+
+    /// Rehydrates the snapshot into a usable model.
+    pub fn restore(self) -> FalccModel {
+        let models: Vec<TrainedModel> = self
+            .pool
+            .into_iter()
+            .map(|(spec, group)| TrainedModel { model: spec.into_classifier(), group })
+            .collect();
+        FalccModel {
+            schema: self.schema,
+            pool: ModelPool::from_models(models),
+            kmeans: self.kmeans,
+            combos: self.combos,
+            proxy: self.proxy,
+            group_index: self.group_index,
+            loss: self.loss,
+            name: self.name,
+        }
+    }
+
+    /// Serialises to a JSON string.
+    ///
+    /// # Errors
+    /// [`FalccError::InvalidConfig`] wrapping the serde failure (cannot
+    /// occur for snapshots produced by [`Self::capture`]).
+    pub fn to_json(&self) -> Result<String, FalccError> {
+        serde_json::to_string(self).map_err(|e| FalccError::InvalidConfig {
+            detail: format!("serialisation failed: {e}"),
+        })
+    }
+
+    /// Parses a snapshot from JSON, checking the format version.
+    ///
+    /// # Errors
+    /// [`FalccError::InvalidConfig`] on parse failure or version mismatch.
+    pub fn from_json(json: &str) -> Result<Self, FalccError> {
+        let saved: Self =
+            serde_json::from_str(json).map_err(|e| FalccError::InvalidConfig {
+                detail: format!("deserialisation failed: {e}"),
+            })?;
+        if saved.version != FORMAT_VERSION {
+            return Err(FalccError::InvalidConfig {
+                detail: format!(
+                    "snapshot format v{} unsupported (expected v{FORMAT_VERSION})",
+                    saved.version
+                ),
+            });
+        }
+        Ok(saved)
+    }
+
+    /// Writes the snapshot to a file.
+    ///
+    /// # Errors
+    /// Serialisation and I/O failures.
+    pub fn save_file(&self, path: impl AsRef<Path>) -> Result<(), FalccError> {
+        let json = self.to_json()?;
+        std::fs::write(path, json)
+            .map_err(|e| FalccError::Dataset(falcc_dataset::DatasetError::Io(e)))
+    }
+
+    /// Reads a snapshot from a file.
+    ///
+    /// # Errors
+    /// I/O and parse failures.
+    pub fn load_file(path: impl AsRef<Path>) -> Result<Self, FalccError> {
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| FalccError::Dataset(falcc_dataset::DatasetError::Io(e)))?;
+        Self::from_json(&json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FalccConfig;
+    use crate::framework::FairClassifier;
+    use falcc_dataset::synthetic::{generate, SyntheticConfig};
+    use falcc_dataset::{SplitRatios, ThreeWaySplit};
+    use falcc_models::Classifier;
+    use std::sync::Arc;
+
+    fn fitted() -> (FalccModel, ThreeWaySplit) {
+        let mut dcfg = SyntheticConfig::social(0.3);
+        dcfg.n = 800;
+        let ds = generate(&dcfg, 11).unwrap();
+        let split = ThreeWaySplit::split(&ds, SplitRatios::PAPER, 11).unwrap();
+        let mut cfg = FalccConfig::default();
+        cfg.scale_for_tests();
+        let model = FalccModel::fit(&split.train, &split.validation, &cfg).unwrap();
+        (model, split)
+    }
+
+    #[test]
+    fn json_round_trip_preserves_every_prediction() {
+        let (model, split) = fitted();
+        let json = SavedFalccModel::capture(&model).unwrap().to_json().unwrap();
+        let revived = SavedFalccModel::from_json(&json).unwrap().restore();
+        assert_eq!(revived.name(), model.name());
+        assert_eq!(revived.n_regions(), model.n_regions());
+        assert_eq!(
+            revived.predict_dataset(&split.test),
+            model.predict_dataset(&split.test)
+        );
+        // Region assignments survive too (centroids + proxy projection).
+        for i in 0..split.test.len().min(50) {
+            assert_eq!(
+                revived.assign_region(split.test.row(i)),
+                model.assign_region(split.test.row(i))
+            );
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let (model, split) = fitted();
+        let path = std::env::temp_dir().join("falcc_model_test.json");
+        SavedFalccModel::capture(&model).unwrap().save_file(&path).unwrap();
+        let revived = SavedFalccModel::load_file(&path).unwrap().restore();
+        assert_eq!(
+            revived.predict_dataset(&split.test),
+            model.predict_dataset(&split.test)
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let (model, _) = fitted();
+        let mut saved = SavedFalccModel::capture(&model).unwrap();
+        saved.version = 999;
+        let json = saved.to_json().unwrap();
+        assert!(matches!(
+            SavedFalccModel::from_json(&json),
+            Err(FalccError::InvalidConfig { .. })
+        ));
+        assert!(SavedFalccModel::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn unsupported_custom_model_fails_loudly() {
+        struct Custom;
+        impl Classifier for Custom {
+            fn predict_proba_row(&self, _row: &[f64]) -> f64 {
+                0.5
+            }
+            fn name(&self) -> &str {
+                "custom"
+            }
+        }
+        let (mut model, _) = fitted();
+        model.pool.models[0] = falcc_models::TrainedModel {
+            model: Arc::new(Custom),
+            group: None,
+        };
+        let err = SavedFalccModel::capture(&model);
+        assert!(matches!(err, Err(FalccError::InvalidConfig { .. })));
+    }
+}

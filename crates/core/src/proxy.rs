@@ -1,0 +1,195 @@
+//! Proxy-discrimination mitigation (paper §3.4).
+//!
+//! Non-protected attributes that correlate with protected ones act as
+//! *proxies* and can reintroduce discrimination even when the protected
+//! attribute itself is ignored. FALCC counteracts this **inline**: the
+//! validation data is transformed *before clustering only* — the models
+//! stay trained on the raw data and new samples keep their raw values for
+//! classification, which is what distinguishes this from pre-processing.
+//!
+//! Two strategies from the paper:
+//!
+//! * **Reweighing** — every non-sensitive attribute gets the Eq. 1 weight
+//!   `(1/|Sens|)·Σ_s (1 − r(s, a))`; proxies (high correlation) receive low
+//!   weight, shrinking their influence on the squared-distance clustering.
+//! * **Removal** — attributes with `|r| > δ` (δ = 0.5) at significance
+//!   `p < 0.05` are dropped from the clustering projection entirely.
+
+use falcc_dataset::stats::{pearson_test, proxy_weight};
+use falcc_dataset::{AttrId, Dataset};
+
+/// Mitigation strategy selector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProxyStrategy {
+    /// No mitigation: cluster on all non-sensitive attributes, unweighted.
+    None,
+    /// Eq. 1 reweighing of all non-sensitive attributes.
+    Reweigh,
+    /// Removal of attributes with `|r| > delta` and `p < p_threshold`.
+    Remove {
+        /// Correlation magnitude threshold (paper: 0.5).
+        delta: f64,
+        /// Significance threshold (paper: 0.05).
+        p_threshold: f64,
+    },
+}
+
+impl ProxyStrategy {
+    /// The paper's removal configuration (δ = 0.5, p < 0.05).
+    pub const PAPER_REMOVE: Self = Self::Remove { delta: 0.5, p_threshold: 0.05 };
+
+    /// Short name for experiment output.
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            Self::None => "none",
+            Self::Reweigh => "reweigh",
+            Self::Remove { .. } => "remove",
+        }
+    }
+
+    /// Analyses `ds` and produces the attribute selection / weighting the
+    /// clustering step should use. The sensitive attributes themselves are
+    /// always projected out (§3.5).
+    pub fn apply(&self, ds: &Dataset) -> ProxyOutcome {
+        let non_sens = ds.schema().non_sensitive_attrs();
+        let sens_attrs = ds.schema().sensitive_attrs();
+        let sens_cols: Vec<Vec<f64>> =
+            sens_attrs.iter().map(|&a| ds.column(a)).collect();
+        let sens_refs: Vec<&[f64]> = sens_cols.iter().map(|c| c.as_slice()).collect();
+
+        match *self {
+            Self::None => ProxyOutcome { attrs: non_sens, weights: None, removed: Vec::new() },
+            Self::Reweigh => {
+                let weights: Vec<f64> = non_sens
+                    .iter()
+                    .map(|&a| proxy_weight(&sens_refs, &ds.column(a)))
+                    .collect();
+                ProxyOutcome { attrs: non_sens, weights: Some(weights), removed: Vec::new() }
+            }
+            Self::Remove { delta, p_threshold } => {
+                let mut kept = Vec::with_capacity(non_sens.len());
+                let mut removed = Vec::new();
+                for &a in &non_sens {
+                    let col = ds.column(a);
+                    let is_proxy = sens_refs.iter().any(|s| {
+                        let c = pearson_test(s, &col);
+                        c.r.abs() > delta && c.p_value < p_threshold
+                    });
+                    if is_proxy {
+                        removed.push(a);
+                    } else {
+                        kept.push(a);
+                    }
+                }
+                if kept.is_empty() {
+                    // Never remove everything: fall back to no removal, as
+                    // clustering needs at least one dimension.
+                    ProxyOutcome { attrs: non_sens, weights: None, removed: Vec::new() }
+                } else {
+                    ProxyOutcome { attrs: kept, weights: None, removed }
+                }
+            }
+        }
+    }
+}
+
+/// The result of proxy analysis: which attributes the clustering projection
+/// uses and with what weights.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ProxyOutcome {
+    /// Attribute ids (columns of the full-width row) to cluster on.
+    pub attrs: Vec<AttrId>,
+    /// Optional per-attribute weights, parallel to `attrs`.
+    pub weights: Option<Vec<f64>>,
+    /// Attributes flagged as proxies and removed (empty for other
+    /// strategies).
+    pub removed: Vec<AttrId>,
+}
+
+impl ProxyOutcome {
+    /// Projects one full-width row consistently with the offline
+    /// projection — the online phase's *sample processing* step (§3.7).
+    pub fn project_row(&self, row: &[f64]) -> Vec<f64> {
+        Dataset::project_row(row, &self.attrs, self.weights.as_deref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use falcc_dataset::synthetic::{generate, SyntheticConfig};
+
+    fn implicit_ds() -> Dataset {
+        let mut cfg = SyntheticConfig::implicit(0.4);
+        cfg.n = 3000;
+        generate(&cfg, 3).unwrap()
+    }
+
+    #[test]
+    fn none_keeps_all_non_sensitive_attrs() {
+        let ds = implicit_ds();
+        let out = ProxyStrategy::None.apply(&ds);
+        assert_eq!(out.attrs.len(), 8);
+        assert!(out.weights.is_none());
+        assert!(!out.attrs.contains(&0), "sensitive column projected out");
+    }
+
+    #[test]
+    fn reweigh_downweights_proxies() {
+        let ds = implicit_ds();
+        let out = ProxyStrategy::Reweigh.apply(&ds);
+        let w = out.weights.as_ref().expect("reweigh produces weights");
+        assert_eq!(w.len(), 8);
+        // Columns 1..=3 of the dataset are proxies (attrs list starts at
+        // column 1, so weight[0..3] cover them).
+        let proxy_mean = (w[0] + w[1] + w[2]) / 3.0;
+        let clean_mean = w[3..].iter().sum::<f64>() / (w.len() - 3) as f64;
+        assert!(
+            proxy_mean < clean_mean - 0.1,
+            "proxies {proxy_mean} should weigh less than clean {clean_mean}"
+        );
+        assert!(w.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn remove_drops_strong_proxies_only() {
+        let mut cfg = SyntheticConfig::implicit(0.4);
+        cfg.n = 3000;
+        // Strengthen proxies so they clear the δ = 0.5 bar.
+        let ds = generate(&cfg, 3).unwrap();
+        let out = ProxyStrategy::Remove { delta: 0.3, p_threshold: 0.05 }.apply(&ds);
+        assert!(!out.removed.is_empty(), "proxies should be flagged");
+        assert!(out.removed.iter().all(|&a| (1..=3).contains(&a)), "{:?}", out.removed);
+        assert_eq!(out.attrs.len() + out.removed.len(), 8);
+    }
+
+    #[test]
+    fn remove_never_empties_the_projection() {
+        let ds = implicit_ds();
+        // Absurd threshold flags everything → fallback keeps all.
+        let out = ProxyStrategy::Remove { delta: 0.0, p_threshold: 1.1 }.apply(&ds);
+        assert!(!out.attrs.is_empty());
+    }
+
+    #[test]
+    fn social_dataset_has_no_proxies_to_remove() {
+        let mut cfg = SyntheticConfig::social(0.3);
+        cfg.n = 3000;
+        let ds = generate(&cfg, 4).unwrap();
+        let out = ProxyStrategy::PAPER_REMOVE.apply(&ds);
+        assert!(out.removed.is_empty(), "social bias has no proxies: {:?}", out.removed);
+        assert_eq!(out.attrs.len(), 8);
+    }
+
+    #[test]
+    fn project_row_is_consistent_with_outcome() {
+        let ds = implicit_ds();
+        let out = ProxyStrategy::Reweigh.apply(&ds);
+        let projected = out.project_row(ds.row(0));
+        assert_eq!(projected.len(), out.attrs.len());
+        let w = out.weights.as_ref().unwrap();
+        for (j, (&a, &wa)) in out.attrs.iter().zip(w).enumerate() {
+            assert!((projected[j] - ds.row(0)[a] * wa).abs() < 1e-12);
+        }
+    }
+}

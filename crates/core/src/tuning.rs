@@ -1,0 +1,178 @@
+//! Automatic FALCC configuration — the paper's future-work direction
+//! ("investigate how to simplify the configuration of FALCC using
+//! parameter estimation techniques", §5; cf. Lässig, ICDE 2023).
+//!
+//! [`auto_tune`] grid-searches the configuration knobs that most affect
+//! quality — the clustering policy and the pool size — on a held-out slice
+//! of the validation data, scoring each candidate by the local L̂ it
+//! achieves *on its own regions* (the quantity FALCC optimises). The
+//! winning configuration is returned ready for a final
+//! [`FalccModel::fit`] on the full data.
+
+use crate::config::{ClusterSpec, FalccConfig};
+use crate::error::FalccError;
+use crate::framework::FairClassifier;
+use crate::offline::FalccModel;
+use falcc_dataset::Dataset;
+use falcc_metrics::local_l_hat;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One evaluated tuning candidate.
+#[derive(Debug, Clone)]
+pub struct Trial {
+    /// Human-readable candidate description.
+    pub description: String,
+    /// The candidate's clustering policy.
+    pub clustering: ClusterSpec,
+    /// The candidate's pool size.
+    pub pool_size: usize,
+    /// Local L̂ on the tuning holdout (lower is better).
+    pub holdout_local_l_hat: f64,
+}
+
+/// Result of [`auto_tune`].
+#[derive(Debug, Clone)]
+pub struct TuningReport {
+    /// The best configuration found (a copy of the base config with the
+    /// tuned fields replaced).
+    pub chosen: FalccConfig,
+    /// Every candidate with its holdout score, sorted best-first.
+    pub trials: Vec<Trial>,
+}
+
+/// Default candidate grid: clustering ∈ {LOG-Means, k=8, k=16} × pool size
+/// ∈ {3, 5, 8}.
+fn candidate_grid() -> Vec<(ClusterSpec, usize)> {
+    let mut grid = Vec::new();
+    for clustering in [ClusterSpec::LogMeans, ClusterSpec::FixedK(8), ClusterSpec::FixedK(16)] {
+        for pool_size in [3usize, 5, 8] {
+            grid.push((clustering, pool_size));
+        }
+    }
+    grid
+}
+
+/// Tunes `base` on a 70/30 split of the validation data and returns the
+/// best configuration. Nine offline fits — run this once per deployment,
+/// not per prediction.
+///
+/// # Errors
+/// Propagates fit failures; returns [`FalccError::Dataset`] when the
+/// validation set is too small to split (< 10 rows).
+pub fn auto_tune(
+    train: &Dataset,
+    validation: &Dataset,
+    base: &FalccConfig,
+) -> Result<TuningReport, FalccError> {
+    base.validate()?;
+    let n = validation.len();
+    if n < 10 {
+        return Err(FalccError::Dataset(falcc_dataset::DatasetError::Empty));
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(base.seed ^ 0x7u64);
+    idx.shuffle(&mut rng);
+    let cut = (n * 7 / 10).clamp(1, n - 1);
+    let assess = validation.subset(&idx[..cut])?;
+    let holdout = validation.subset(&idx[cut..])?;
+    let n_groups = validation.group_index().len();
+
+    let mut trials = Vec::new();
+    for (clustering, pool_size) in candidate_grid() {
+        let mut cfg = base.clone();
+        cfg.clustering = clustering;
+        cfg.pool.pool_size = pool_size;
+        // A candidate can fail (e.g. a tiny assess slice missing a group);
+        // skip it rather than aborting the search.
+        let Ok(model) = FalccModel::fit(train, &assess, &cfg) else {
+            continue;
+        };
+        let preds = model.predict_dataset(&holdout);
+        let regions: Vec<usize> =
+            (0..holdout.len()).map(|i| model.assign_region(holdout.row(i))).collect();
+        let score = local_l_hat(
+            cfg.loss,
+            holdout.labels(),
+            &preds,
+            holdout.groups(),
+            n_groups,
+            &regions,
+            model.n_regions(),
+        );
+        trials.push(Trial {
+            description: format!("clustering={clustering:?}, pool_size={pool_size}"),
+            clustering,
+            pool_size,
+            holdout_local_l_hat: score,
+        });
+    }
+    if trials.is_empty() {
+        return Err(FalccError::InvalidConfig {
+            detail: "no tuning candidate could be fitted".into(),
+        });
+    }
+    trials.sort_by(|a, b| {
+        a.holdout_local_l_hat
+            .partial_cmp(&b.holdout_local_l_hat)
+            .expect("finite scores")
+    });
+    let best = &trials[0];
+    let mut chosen = base.clone();
+    chosen.clustering = best.clustering;
+    chosen.pool.pool_size = best.pool_size;
+    Ok(TuningReport { chosen, trials })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use falcc_dataset::synthetic::{generate, SyntheticConfig};
+    use falcc_dataset::{SplitRatios, ThreeWaySplit};
+
+    fn split(n: usize, seed: u64) -> ThreeWaySplit {
+        let mut cfg = SyntheticConfig::social(0.3);
+        cfg.n = n;
+        let ds = generate(&cfg, seed).unwrap();
+        ThreeWaySplit::split(&ds, SplitRatios::PAPER, seed).unwrap()
+    }
+
+    #[test]
+    fn tuning_returns_a_valid_ranked_report() {
+        let s = split(1200, 1);
+        let base = FalccConfig::default();
+        let report = auto_tune(&s.train, &s.validation, &base).unwrap();
+        assert!(!report.trials.is_empty());
+        // Sorted best-first.
+        for w in report.trials.windows(2) {
+            assert!(w[0].holdout_local_l_hat <= w[1].holdout_local_l_hat + 1e-12);
+        }
+        // Chosen config matches the best trial and still validates.
+        assert_eq!(report.chosen.clustering, report.trials[0].clustering);
+        assert_eq!(report.chosen.pool.pool_size, report.trials[0].pool_size);
+        assert!(report.chosen.validate().is_ok());
+        // And it fits on the full validation data.
+        let model =
+            FalccModel::fit(&s.train, &s.validation, &report.chosen).unwrap();
+        assert!(model.n_regions() >= 1);
+    }
+
+    #[test]
+    fn tiny_validation_is_rejected() {
+        let s = split(1200, 2);
+        let small = s.validation.subset(&(0..5).collect::<Vec<_>>()).unwrap();
+        assert!(auto_tune(&s.train, &small, &FalccConfig::default()).is_err());
+    }
+
+    #[test]
+    fn base_fields_are_preserved() {
+        let s = split(900, 3);
+        let mut base = FalccConfig::default();
+        base.loss.lambda = 0.7;
+        base.gap_fill_k = 7;
+        let report = auto_tune(&s.train, &s.validation, &base).unwrap();
+        assert_eq!(report.chosen.loss.lambda, 0.7);
+        assert_eq!(report.chosen.gap_fill_k, 7);
+    }
+}

@@ -1,0 +1,206 @@
+//! Minimal CSV import/export for [`Dataset`].
+//!
+//! The format is deliberately plain: a header row naming every attribute
+//! with the label as the **last** column, then one numeric row per sample.
+//! This is enough to drop in externally preprocessed copies of the paper's
+//! real-world datasets (which are numeric after the preprocessing of
+//! [Lässig 2020]) in place of the built-in emulators.
+
+use crate::dataset::Dataset;
+use crate::error::DatasetError;
+use crate::schema::{Schema, SensitiveAttr};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Reads a dataset from CSV text. `sensitive` names the sensitive columns
+/// together with their domains (by header name).
+///
+/// # Errors
+/// * [`DatasetError::Csv`] on malformed rows or non-numeric values;
+/// * [`DatasetError::UnknownAttribute`] if a sensitive column name is not in
+///   the header;
+/// * construction errors from [`Dataset::from_rows`].
+pub fn read_csv<R: Read>(
+    reader: R,
+    sensitive: &[(&str, Vec<f64>)],
+) -> Result<Dataset, DatasetError> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = match lines.next() {
+        Some(h) => h?,
+        None => return Err(DatasetError::Empty),
+    };
+    let mut names: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
+    if names.len() < 2 {
+        return Err(DatasetError::Csv {
+            line: 1,
+            detail: "header needs at least one attribute and a label".into(),
+        });
+    }
+    let label_name = names.pop().expect("checked non-empty");
+
+    let mut sens = Vec::with_capacity(sensitive.len());
+    for (name, domain) in sensitive {
+        let attr = names
+            .iter()
+            .position(|n| n == name)
+            .ok_or_else(|| DatasetError::UnknownAttribute { name: (*name).to_string() })?;
+        sens.push(SensitiveAttr { attr, domain: domain.clone() });
+    }
+    let schema = Schema::new(names, sens, label_name)?;
+
+    let d = schema.n_attrs();
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        let line = line?;
+        let lineno = lineno + 2; // 1-based, after header
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut row = Vec::with_capacity(d);
+        let mut fields = line.split(',');
+        for field in fields.by_ref().take(d) {
+            let v: f64 = field.trim().parse().map_err(|_| DatasetError::Csv {
+                line: lineno,
+                detail: format!("non-numeric value {:?}", field.trim()),
+            })?;
+            row.push(v);
+        }
+        let label_field = fields.next().ok_or_else(|| DatasetError::Csv {
+            line: lineno,
+            detail: format!("expected {} columns", d + 1),
+        })?;
+        if fields.next().is_some() {
+            return Err(DatasetError::Csv {
+                line: lineno,
+                detail: format!("expected {} columns", d + 1),
+            });
+        }
+        if row.len() != d {
+            return Err(DatasetError::Csv {
+                line: lineno,
+                detail: format!("expected {} columns", d + 1),
+            });
+        }
+        let label: f64 = label_field.trim().parse().map_err(|_| DatasetError::Csv {
+            line: lineno,
+            detail: format!("non-numeric label {:?}", label_field.trim()),
+        })?;
+        if label != 0.0 && label != 1.0 {
+            return Err(DatasetError::Csv {
+                line: lineno,
+                detail: format!("label must be 0 or 1, got {label}"),
+            });
+        }
+        rows.push(row);
+        labels.push(label as u8);
+    }
+    Dataset::from_rows(schema, rows, labels)
+}
+
+/// Reads a dataset from a CSV file on disk. See [`read_csv`].
+///
+/// # Errors
+/// I/O errors plus everything [`read_csv`] can raise.
+pub fn read_csv_file(
+    path: impl AsRef<Path>,
+    sensitive: &[(&str, Vec<f64>)],
+) -> Result<Dataset, DatasetError> {
+    read_csv(std::fs::File::open(path)?, sensitive)
+}
+
+/// Writes a dataset as CSV (header + numeric rows, label last).
+///
+/// # Errors
+/// Propagates writer failures.
+pub fn write_csv<W: Write>(ds: &Dataset, mut w: W) -> Result<(), DatasetError> {
+    let mut header = ds.schema().attr_names().join(",");
+    header.push(',');
+    header.push_str(ds.schema().label_name());
+    writeln!(w, "{header}")?;
+    let mut buf = String::new();
+    for i in 0..ds.len() {
+        buf.clear();
+        for (j, v) in ds.row(i).iter().enumerate() {
+            if j > 0 {
+                buf.push(',');
+            }
+            buf.push_str(&format!("{v}"));
+        }
+        buf.push(',');
+        buf.push_str(if ds.label(i) == 1 { "1" } else { "0" });
+        writeln!(w, "{buf}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "sex,age,income,hired\n\
+                          0,25,50.5,1\n\
+                          1,30,40.0,0\n\
+                          0,45,80.25,1\n";
+
+    #[test]
+    fn round_trip() {
+        let ds = read_csv(SAMPLE.as_bytes(), &[("sex", vec![0.0, 1.0])]).unwrap();
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.n_attrs(), 3);
+        assert_eq!(ds.schema().label_name(), "hired");
+        assert_eq!(ds.row(0), &[0.0, 25.0, 50.5]);
+        assert_eq!(ds.labels(), &[1, 0, 1]);
+        assert!(ds.schema().is_sensitive(0));
+
+        let mut out = Vec::new();
+        write_csv(&ds, &mut out).unwrap();
+        let again = read_csv(out.as_slice(), &[("sex", vec![0.0, 1.0])]).unwrap();
+        assert_eq!(again.flat(), ds.flat());
+        assert_eq!(again.labels(), ds.labels());
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let text = "s,f,y\n0,1,1\n\n1,2,0\n";
+        let ds = read_csv(text.as_bytes(), &[("s", vec![0.0, 1.0])]).unwrap();
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let text = "s,f,y\n0,1,1\n0,oops,0\n";
+        match read_csv(text.as_bytes(), &[("s", vec![0.0, 1.0])]) {
+            Err(DatasetError::Csv { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected csv error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_column_count_is_rejected() {
+        let text = "s,f,y\n0,1\n";
+        assert!(matches!(
+            read_csv(text.as_bytes(), &[("s", vec![0.0, 1.0])]),
+            Err(DatasetError::Csv { line: 2, .. })
+        ));
+        let text = "s,f,y\n0,1,1,9\n";
+        assert!(matches!(
+            read_csv(text.as_bytes(), &[("s", vec![0.0, 1.0])]),
+            Err(DatasetError::Csv { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn non_binary_label_is_rejected() {
+        let text = "s,f,y\n0,1,2\n";
+        assert!(read_csv(text.as_bytes(), &[("s", vec![0.0, 1.0])]).is_err());
+    }
+
+    #[test]
+    fn unknown_sensitive_column() {
+        assert!(matches!(
+            read_csv(SAMPLE.as_bytes(), &[("gender", vec![0.0, 1.0])]),
+            Err(DatasetError::UnknownAttribute { .. })
+        ));
+    }
+}

@@ -1,0 +1,92 @@
+//! Error type shared across the dataset crate.
+
+use std::fmt;
+
+/// Errors raised while constructing, splitting, or parsing datasets.
+#[derive(Debug)]
+pub enum DatasetError {
+    /// Row/label/feature dimensions do not line up.
+    ShapeMismatch {
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
+    /// A schema referenced an attribute that does not exist.
+    UnknownAttribute {
+        /// The offending attribute name.
+        name: String,
+    },
+    /// A sensitive attribute held a value outside its declared domain.
+    ValueOutOfDomain {
+        /// Attribute name.
+        attr: String,
+        /// The value encountered.
+        value: f64,
+    },
+    /// Split ratios were invalid (non-positive or not summing to 1).
+    InvalidSplit {
+        /// Description of the invalid configuration.
+        detail: String,
+    },
+    /// The dataset was empty where a non-empty one is required.
+    Empty,
+    /// CSV parsing failed.
+    Csv {
+        /// 1-based line number of the failure.
+        line: usize,
+        /// Description of the parse failure.
+        detail: String,
+    },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ShapeMismatch { detail } => write!(f, "shape mismatch: {detail}"),
+            Self::UnknownAttribute { name } => write!(f, "unknown attribute: {name}"),
+            Self::ValueOutOfDomain { attr, value } => {
+                write!(f, "value {value} outside the domain of sensitive attribute {attr}")
+            }
+            Self::InvalidSplit { detail } => write!(f, "invalid split: {detail}"),
+            Self::Empty => write!(f, "dataset is empty"),
+            Self::Csv { line, detail } => write!(f, "csv parse error on line {line}: {detail}"),
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DatasetError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DatasetError::ShapeMismatch { detail: "3 rows, 2 labels".into() };
+        assert!(e.to_string().contains("3 rows"));
+        let e = DatasetError::Csv { line: 7, detail: "bad float".into() };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn io_error_round_trips_source() {
+        use std::error::Error as _;
+        let e: DatasetError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(e.source().is_some());
+    }
+}

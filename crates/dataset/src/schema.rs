@@ -1,0 +1,330 @@
+//! Schema: attribute names, sensitive-attribute declarations, and the
+//! enumeration of sensitive groups.
+//!
+//! FALCC supports *multiple, non-binary* sensitive attributes. Given
+//! `Sens = {A_1, …, A_s}`, the sensitive groups are the cross product
+//! `G = dom(A_1) × … × dom(A_s)` (paper §3.1). [`GroupIndex`] materialises
+//! that cross product and maps each sample to its [`GroupId`].
+
+use crate::error::DatasetError;
+use serde::{Deserialize, Serialize};
+
+/// Index of an attribute (column) within a dataset.
+pub type AttrId = usize;
+
+/// Dense identifier of a sensitive group, in `0..GroupIndex::len()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GroupId(pub u16);
+
+impl GroupId {
+    /// The group id as an index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for GroupId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// Declaration of a single sensitive attribute: which column it lives in and
+/// the categorical values it may take (stored as `f64` codes, e.g. `0.0`,
+/// `1.0`, `2.0`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensitiveAttr {
+    /// Column index of the attribute.
+    pub attr: AttrId,
+    /// The declared domain. Order is significant: it determines group
+    /// enumeration order.
+    pub domain: Vec<f64>,
+}
+
+/// Schema of a labeled dataset: column names, sensitive attribute
+/// declarations, and the label name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schema {
+    attr_names: Vec<String>,
+    sensitive: Vec<SensitiveAttr>,
+    label_name: String,
+}
+
+impl Schema {
+    /// Builds a schema. `sensitive` lists, per sensitive attribute, its
+    /// column index and categorical domain.
+    ///
+    /// # Errors
+    /// Returns [`DatasetError::UnknownAttribute`] if a sensitive attribute
+    /// index is out of range, and [`DatasetError::ShapeMismatch`] if a
+    /// domain is empty or an attribute is declared sensitive twice.
+    pub fn new(
+        attr_names: Vec<String>,
+        sensitive: Vec<SensitiveAttr>,
+        label_name: impl Into<String>,
+    ) -> Result<Self, DatasetError> {
+        let mut seen = std::collections::HashSet::new();
+        for s in &sensitive {
+            if s.attr >= attr_names.len() {
+                return Err(DatasetError::UnknownAttribute {
+                    name: format!("sensitive column #{}", s.attr),
+                });
+            }
+            if s.domain.is_empty() {
+                return Err(DatasetError::ShapeMismatch {
+                    detail: format!("empty domain for sensitive attribute {}", attr_names[s.attr]),
+                });
+            }
+            if !seen.insert(s.attr) {
+                return Err(DatasetError::ShapeMismatch {
+                    detail: format!("attribute {} declared sensitive twice", attr_names[s.attr]),
+                });
+            }
+        }
+        Ok(Self { attr_names, sensitive, label_name: label_name.into() })
+    }
+
+    /// Convenience constructor for the common case of a single binary
+    /// sensitive attribute with domain `{0, 1}`.
+    pub fn with_binary_sensitive(
+        attr_names: Vec<String>,
+        sensitive_attr: AttrId,
+        label_name: impl Into<String>,
+    ) -> Result<Self, DatasetError> {
+        Self::new(
+            attr_names,
+            vec![SensitiveAttr { attr: sensitive_attr, domain: vec![0.0, 1.0] }],
+            label_name,
+        )
+    }
+
+    /// Number of attributes (columns), including sensitive ones.
+    #[inline]
+    pub fn n_attrs(&self) -> usize {
+        self.attr_names.len()
+    }
+
+    /// All attribute names in column order.
+    #[inline]
+    pub fn attr_names(&self) -> &[String] {
+        &self.attr_names
+    }
+
+    /// Name of attribute `a`.
+    #[inline]
+    pub fn attr_name(&self, a: AttrId) -> &str {
+        &self.attr_names[a]
+    }
+
+    /// The label column's name.
+    #[inline]
+    pub fn label_name(&self) -> &str {
+        &self.label_name
+    }
+
+    /// Sensitive attribute declarations, in declaration order.
+    #[inline]
+    pub fn sensitive(&self) -> &[SensitiveAttr] {
+        &self.sensitive
+    }
+
+    /// Column indices of the sensitive attributes.
+    pub fn sensitive_attrs(&self) -> Vec<AttrId> {
+        self.sensitive.iter().map(|s| s.attr).collect()
+    }
+
+    /// `true` if column `a` is a sensitive attribute.
+    pub fn is_sensitive(&self, a: AttrId) -> bool {
+        self.sensitive.iter().any(|s| s.attr == a)
+    }
+
+    /// Column indices of non-sensitive attributes, in order. These are the
+    /// columns FALCC clusters on (`Π_{R∖Sens}`, paper §3.5).
+    pub fn non_sensitive_attrs(&self) -> Vec<AttrId> {
+        (0..self.n_attrs()).filter(|a| !self.is_sensitive(*a)).collect()
+    }
+
+    /// Builds the group index enumerating `G`.
+    pub fn group_index(&self) -> GroupIndex {
+        GroupIndex::new(self.sensitive.clone())
+    }
+}
+
+/// Enumeration of the sensitive groups `G = dom(A_1) × … × dom(A_s)`.
+///
+/// Groups are numbered in mixed-radix order: the *last* declared sensitive
+/// attribute varies fastest. With a single binary attribute this yields
+/// `g0 = {0}` (favored in the paper's running example) and `g1 = {1}`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GroupIndex {
+    sensitive: Vec<SensitiveAttr>,
+    n_groups: usize,
+}
+
+impl GroupIndex {
+    fn new(sensitive: Vec<SensitiveAttr>) -> Self {
+        let n_groups = sensitive.iter().map(|s| s.domain.len()).product::<usize>().max(1);
+        Self { sensitive, n_groups }
+    }
+
+    /// Number of groups `|G|`. At least 1 (the trivial group when no
+    /// sensitive attribute is declared).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n_groups
+    }
+
+    /// `true` if there is only the trivial group.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n_groups <= 1
+    }
+
+    /// All group ids.
+    pub fn ids(&self) -> impl Iterator<Item = GroupId> {
+        (0..self.n_groups as u16).map(GroupId)
+    }
+
+    /// Maps a full feature row to its group id.
+    ///
+    /// # Errors
+    /// [`DatasetError::ValueOutOfDomain`] if a sensitive value is not in the
+    /// declared domain (compared with exact equality after rounding to the
+    /// nearest domain member within `1e-9`).
+    pub fn group_of(&self, row: &[f64]) -> Result<GroupId, DatasetError> {
+        let mut id = 0usize;
+        for s in &self.sensitive {
+            let v = row[s.attr];
+            let pos = s
+                .domain
+                .iter()
+                .position(|d| (d - v).abs() < 1e-9)
+                .ok_or_else(|| DatasetError::ValueOutOfDomain {
+                    attr: format!("col#{}", s.attr),
+                    value: v,
+                })?;
+            id = id * s.domain.len() + pos;
+        }
+        Ok(GroupId(id as u16))
+    }
+
+    /// The sensitive attribute values that define group `g`, in declaration
+    /// order (inverse of [`Self::group_of`]).
+    pub fn values_of(&self, g: GroupId) -> Vec<f64> {
+        let mut id = g.index();
+        let mut rev = Vec::with_capacity(self.sensitive.len());
+        for s in self.sensitive.iter().rev() {
+            let len = s.domain.len();
+            rev.push(s.domain[id % len]);
+            id /= len;
+        }
+        rev.reverse();
+        rev
+    }
+
+    /// The sensitive attribute declarations this index enumerates.
+    #[inline]
+    pub fn sensitive(&self) -> &[SensitiveAttr] {
+        &self.sensitive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("a{i}")).collect()
+    }
+
+    #[test]
+    fn binary_schema_has_two_groups() {
+        let s = Schema::with_binary_sensitive(names(4), 1, "y").unwrap();
+        let gi = s.group_index();
+        assert_eq!(gi.len(), 2);
+        assert_eq!(gi.group_of(&[9.0, 0.0, 1.0, 2.0]).unwrap(), GroupId(0));
+        assert_eq!(gi.group_of(&[9.0, 1.0, 1.0, 2.0]).unwrap(), GroupId(1));
+    }
+
+    #[test]
+    fn cross_product_enumeration_matches_mixed_radix() {
+        // sex ∈ {0,1}, race ∈ {0,1,2} → 6 groups, race varies fastest.
+        let s = Schema::new(
+            names(3),
+            vec![
+                SensitiveAttr { attr: 0, domain: vec![0.0, 1.0] },
+                SensitiveAttr { attr: 2, domain: vec![0.0, 1.0, 2.0] },
+            ],
+            "y",
+        )
+        .unwrap();
+        let gi = s.group_index();
+        assert_eq!(gi.len(), 6);
+        assert_eq!(gi.group_of(&[0.0, 5.0, 0.0]).unwrap(), GroupId(0));
+        assert_eq!(gi.group_of(&[0.0, 5.0, 2.0]).unwrap(), GroupId(2));
+        assert_eq!(gi.group_of(&[1.0, 5.0, 1.0]).unwrap(), GroupId(4));
+    }
+
+    #[test]
+    fn values_of_inverts_group_of() {
+        let s = Schema::new(
+            names(3),
+            vec![
+                SensitiveAttr { attr: 0, domain: vec![0.0, 1.0] },
+                SensitiveAttr { attr: 2, domain: vec![0.0, 1.0, 2.0] },
+            ],
+            "y",
+        )
+        .unwrap();
+        let gi = s.group_index();
+        for g in gi.ids() {
+            let vals = gi.values_of(g);
+            let row = [vals[0], 7.0, vals[1]];
+            assert_eq!(gi.group_of(&row).unwrap(), g);
+        }
+    }
+
+    #[test]
+    fn out_of_domain_is_an_error() {
+        let s = Schema::with_binary_sensitive(names(2), 0, "y").unwrap();
+        let gi = s.group_index();
+        assert!(gi.group_of(&[3.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn non_sensitive_attrs_excludes_sensitive() {
+        let s = Schema::with_binary_sensitive(names(4), 2, "y").unwrap();
+        assert_eq!(s.non_sensitive_attrs(), vec![0, 1, 3]);
+        assert!(s.is_sensitive(2));
+        assert!(!s.is_sensitive(0));
+    }
+
+    #[test]
+    fn invalid_schemas_are_rejected() {
+        assert!(Schema::with_binary_sensitive(names(2), 5, "y").is_err());
+        assert!(Schema::new(
+            names(2),
+            vec![SensitiveAttr { attr: 0, domain: vec![] }],
+            "y"
+        )
+        .is_err());
+        assert!(Schema::new(
+            names(2),
+            vec![
+                SensitiveAttr { attr: 0, domain: vec![0.0, 1.0] },
+                SensitiveAttr { attr: 0, domain: vec![0.0, 1.0] }
+            ],
+            "y"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn trivial_group_index_when_no_sensitive() {
+        let s = Schema::new(names(2), vec![], "y").unwrap();
+        let gi = s.group_index();
+        assert_eq!(gi.len(), 1);
+        assert_eq!(gi.group_of(&[1.0, 2.0]).unwrap(), GroupId(0));
+    }
+}

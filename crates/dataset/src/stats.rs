@@ -1,0 +1,324 @@
+//! Statistical primitives: means, variances, Pearson correlation, and the
+//! two-sided significance test FALCC's proxy-discrimination detector needs
+//! (paper §3.4).
+//!
+//! The significance of a Pearson coefficient `r` on `n` samples is the
+//! two-sided p-value of `t = r·√((n−2)/(1−r²))` under a Student-t
+//! distribution with `n−2` degrees of freedom. No statistics crate is
+//! permitted, so the t CDF is computed via the regularized incomplete beta
+//! function (Lentz continued fraction + Lanczos `ln Γ`), the standard
+//! Numerical-Recipes construction.
+
+/// Arithmetic mean. Returns 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance (divides by `n`). Returns 0 for fewer than 2 samples.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (divides by `n−1`). Returns 0 for fewer than 2
+/// samples.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Pearson correlation coefficient between two equal-length series.
+///
+/// Returns 0 when either series is constant (the paper's Eq. 1 then assigns
+/// weight 1, i.e. "no correlation"), matching scipy's convention of an
+/// undefined correlation being treated as absent.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "pearson requires equal-length series");
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let (ma, mb) = (mean(a), mean(b));
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for i in 0..n {
+        let da = a[i] - ma;
+        let db = b[i] - mb;
+        cov += da * db;
+        va += da * da;
+        vb += db * db;
+    }
+    if va <= 0.0 || vb <= 0.0 {
+        return 0.0;
+    }
+    (cov / (va.sqrt() * vb.sqrt())).clamp(-1.0, 1.0)
+}
+
+/// Result of a Pearson correlation test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Correlation {
+    /// The coefficient in `[-1, 1]`.
+    pub r: f64,
+    /// Two-sided p-value of `H0: r = 0`; `1.0` when undefined (n < 3 or
+    /// constant series).
+    pub p_value: f64,
+}
+
+/// Pearson correlation together with its two-sided significance.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn pearson_test(a: &[f64], b: &[f64]) -> Correlation {
+    let r = pearson(a, b);
+    let n = a.len();
+    if n < 3 || r == 0.0 {
+        return Correlation { r, p_value: 1.0 };
+    }
+    if (1.0 - r * r) < 1e-15 {
+        // Perfect correlation: p → 0.
+        return Correlation { r, p_value: 0.0 };
+    }
+    let df = (n - 2) as f64;
+    let t = r * (df / (1.0 - r * r)).sqrt();
+    Correlation { r, p_value: student_t_two_sided_p(t, df) }
+}
+
+/// Two-sided p-value `P(|T| ≥ |t|)` for a Student-t variable with `df`
+/// degrees of freedom.
+pub fn student_t_two_sided_p(t: f64, df: f64) -> f64 {
+    // P(|T| >= |t|) = I_{df/(df+t²)}(df/2, 1/2)
+    let x = df / (df + t * t);
+    regularized_incomplete_beta(df / 2.0, 0.5, x).clamp(0.0, 1.0)
+}
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7, n = 9).
+///
+/// Accurate to ~1e-13 relative error for positive arguments.
+pub fn ln_gamma(x: f64) -> f64 {
+    // Coefficients for g = 7.
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + 7.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` via Lentz's continued
+/// fraction (Numerical Recipes §6.4).
+///
+/// # Panics
+/// Panics if `x` is outside `[0, 1]` or `a`/`b` are non-positive.
+pub fn regularized_incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&x), "x must be in [0,1], got {x}");
+    assert!(a > 0.0 && b > 0.0, "a and b must be positive");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    // The continued fraction converges fastest for x ≤ (a+1)/(a+b+2);
+    // otherwise use the symmetry I_x(a,b) = 1 − I_{1−x}(b,a). The `<=` is
+    // load-bearing: with `<`, x exactly on the threshold recurses forever.
+    if x <= (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - regularized_incomplete_beta(b, a, 1.0 - x)
+    }
+}
+
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-14;
+    const TINY: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// The attribute weight from the paper's Eq. 1: the mean over all sensitive
+/// attributes of `1 − |r(s, a)|`.
+///
+/// Eq. 1 as printed uses the *signed* coefficient, but also states
+/// `weight ∈ [0, 1]` (signed `1 − r` ranges over `[0, 2]`). A strongly
+/// *negatively* correlated attribute leaks exactly as much group
+/// information as a positively correlated one, so we take the magnitude —
+/// the reading consistent with both the stated range and the intent that
+/// proxies receive low weight.
+pub fn proxy_weight(sens_columns: &[&[f64]], attr_column: &[f64]) -> f64 {
+    if sens_columns.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 =
+        sens_columns.iter().map(|s| 1.0 - pearson(s, attr_column).abs()).sum();
+    (sum / sens_columns.len() as f64).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_std() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((mean(&xs) - 2.5).abs() < 1e-12);
+        assert!((variance(&xs) - 1.25).abs() < 1e-12);
+        assert!((std_dev(&xs) - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn pearson_known_values() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [2.0, 4.0, 6.0, 8.0, 10.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+        let c = [10.0, 8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&a, &c) + 1.0).abs() < 1e-12);
+        let d = [7.0, 7.0, 7.0, 7.0, 7.0];
+        assert_eq!(pearson(&a, &d), 0.0);
+    }
+
+    #[test]
+    fn pearson_uncorrelated_is_small() {
+        // Deterministic "noise" with zero linear relation by symmetry.
+        let a: Vec<f64> = (0..100).map(|i| (i as f64 * 0.7).sin()).collect();
+        let b: Vec<f64> = (0..100).map(|i| ((i as f64 + 50.0) * 1.3).cos()).collect();
+        assert!(pearson(&a, &b).abs() < 0.3);
+    }
+
+    #[test]
+    fn ln_gamma_matches_known_values() {
+        // Γ(1)=1, Γ(2)=1, Γ(5)=24, Γ(0.5)=√π
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn incomplete_beta_reference_points() {
+        // I_x(1,1) = x (uniform CDF).
+        for &x in &[0.0, 0.25, 0.5, 0.9, 1.0] {
+            assert!((regularized_incomplete_beta(1.0, 1.0, x) - x).abs() < 1e-10);
+        }
+        // I_x(2,2) = 3x² − 2x³.
+        for &x in &[0.1, 0.5, 0.8] {
+            let expect = 3.0 * x * x - 2.0 * x * x * x;
+            assert!((regularized_incomplete_beta(2.0, 2.0, x) - expect).abs() < 1e-10);
+        }
+        // Symmetry: I_x(a,b) = 1 − I_{1−x}(b,a).
+        let lhs = regularized_incomplete_beta(2.5, 4.0, 0.3);
+        let rhs = 1.0 - regularized_incomplete_beta(4.0, 2.5, 0.7);
+        assert!((lhs - rhs).abs() < 1e-10);
+    }
+
+    #[test]
+    fn student_t_reference_points() {
+        // df=10, t=2.228 is the classic 5% two-sided critical value.
+        let p = student_t_two_sided_p(2.228, 10.0);
+        assert!((p - 0.05).abs() < 2e-3, "p = {p}");
+        // t = 0 → p = 1.
+        assert!((student_t_two_sided_p(0.0, 5.0) - 1.0).abs() < 1e-12);
+        // Large |t| → p ≈ 0.
+        assert!(student_t_two_sided_p(50.0, 20.0) < 1e-10);
+    }
+
+    #[test]
+    fn pearson_test_detects_strong_linear_relation() {
+        let a: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let b: Vec<f64> = a.iter().map(|x| 3.0 * x + 1.0).collect();
+        let c = pearson_test(&a, &b);
+        assert!(c.r > 0.999);
+        assert!(c.p_value < 1e-6);
+        // Short / constant series → p-value 1.
+        assert_eq!(pearson_test(&[1.0, 2.0], &[2.0, 4.0]).p_value, 1.0);
+    }
+
+    #[test]
+    fn proxy_weight_bounds_and_behaviour() {
+        let s: Vec<f64> = (0..40).map(|i| (i % 2) as f64).collect();
+        let proxy: Vec<f64> = s.iter().map(|v| v * 2.0 + 0.1).collect();
+        let indep: Vec<f64> = (0..40).map(|i| ((i * 7) % 5) as f64).collect();
+        let w_proxy = proxy_weight(&[&s], &proxy);
+        let w_indep = proxy_weight(&[&s], &indep);
+        assert!(w_proxy < 0.1, "strong proxy gets near-zero weight, got {w_proxy}");
+        assert!(w_indep > 0.5, "independent attr keeps high weight, got {w_indep}");
+        assert!((0.0..=1.0).contains(&w_proxy));
+        assert!((0.0..=1.0).contains(&w_indep));
+        assert_eq!(proxy_weight(&[], &indep), 1.0);
+    }
+}

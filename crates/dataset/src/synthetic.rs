@@ -1,0 +1,384 @@
+//! Synthetic fairness-benchmark generators.
+//!
+//! The paper (§4.1.1) evaluates on two synthetic datasets of ~14k tuples and
+//! 8 features, each exhibiting one kind of bias at a configurable
+//! mean-difference level (30% by default, i.e. positive rates 35%/65% for
+//! the unfavored/favored group):
+//!
+//! * **Social (direct) bias** — the label depends on the sensitive attribute
+//!   itself: two otherwise identical individuals from different groups face
+//!   different decision thresholds.
+//! * **Implicit (indirect) bias** — the sensitive attribute has *no* direct
+//!   influence on the label, but it shifts several *proxy* features that do
+//!   feed the label, creating proxy discrimination (the target of FALCC's
+//!   mitigation component, §3.4 / Fig. 5).
+//!
+//! Labels are derived from a linear score over the informative features so
+//! the concept is learnable by the tree ensembles under test; group rates
+//! are hit exactly (social) or to a small tolerance via a bisection on the
+//! proxy shift (implicit).
+
+use crate::dataset::Dataset;
+use crate::error::DatasetError;
+use crate::schema::Schema;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Which bias mechanism a synthetic dataset exhibits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BiasKind {
+    /// Direct bias: per-group decision thresholds.
+    Social,
+    /// Indirect bias: group-shifted proxy features feeding a global
+    /// threshold.
+    Implicit,
+}
+
+/// Configuration for the synthetic generators.
+#[derive(Debug, Clone)]
+pub struct SyntheticConfig {
+    /// Number of rows (paper: ~14 000).
+    pub n: usize,
+    /// Number of non-sensitive features (paper: 8).
+    pub n_features: usize,
+    /// How many of the features act as proxies (implicit bias only).
+    pub n_proxies: usize,
+    /// Target mean difference of positive rates between the groups
+    /// (e.g. 0.30 → 35% vs 65%).
+    pub bias: f64,
+    /// Overall positive rate; the two group rates are `base_rate ± bias/2`.
+    pub base_rate: f64,
+    /// `P(s = 1)` — fraction of the protected group.
+    pub p_protected: f64,
+    /// Bias mechanism.
+    pub kind: BiasKind,
+    /// Fraction of labels flipped uniformly at random (irreducible noise).
+    pub label_noise: f64,
+}
+
+impl SyntheticConfig {
+    /// The paper's *social30* dataset.
+    pub fn social(bias: f64) -> Self {
+        Self {
+            n: 14_000,
+            n_features: 8,
+            n_proxies: 0,
+            bias,
+            base_rate: 0.5,
+            p_protected: 0.5,
+            kind: BiasKind::Social,
+            label_noise: 0.05,
+        }
+    }
+
+    /// The paper's *implicit30* dataset.
+    pub fn implicit(bias: f64) -> Self {
+        Self {
+            n: 14_000,
+            n_features: 8,
+            n_proxies: 3,
+            bias,
+            base_rate: 0.5,
+            p_protected: 0.5,
+            kind: BiasKind::Implicit,
+            label_noise: 0.05,
+        }
+    }
+}
+
+/// Samples a standard normal via Box–Muller (avoids a distribution-crate
+/// dependency).
+pub(crate) fn std_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// The value at quantile `q` (0..1) of `values` (interpolation-free,
+/// nearest-rank). Used to turn target positive rates into score thresholds.
+pub(crate) fn quantile(values: &mut [f64], q: f64) -> f64 {
+    assert!(!values.is_empty());
+    values.sort_by(|a, b| a.partial_cmp(b).expect("scores are finite"));
+    let rank = ((values.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+    values[rank]
+}
+
+/// Generates a synthetic dataset according to `cfg`, deterministically per
+/// `seed`. The sensitive attribute is column 0 with domain `{0, 1}`
+/// (`1` = protected/unfavored group, as in the paper's Tab. 2).
+///
+/// # Errors
+/// Propagates schema/dataset construction failures (e.g. `n == 0`).
+pub fn generate(cfg: &SyntheticConfig, seed: u64) -> Result<Dataset, DatasetError> {
+    if cfg.n == 0 {
+        return Err(DatasetError::Empty);
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5f3c_9a1b_7e24_d680);
+    let d = cfg.n_features;
+    let n_prox = cfg.n_proxies.min(d);
+
+    // Fixed, seed-dependent concept weights; proxies are genuinely
+    // informative (that is what makes them *proxies* rather than mere
+    // correlates) but carry less individual weight — the bisection below
+    // then needs a visible group shift to reach the target bias, giving
+    // the proxies the strong correlation with `s` the paper's implicit
+    // dataset exhibits.
+    let weights: Vec<f64> = (0..d)
+        .map(|j| {
+            if j < cfg.n_proxies.min(d) && cfg.kind == BiasKind::Implicit {
+                rng.gen_range(0.15..0.30)
+            } else {
+                rng.gen_range(0.4..1.0)
+            }
+        })
+        .collect();
+
+    let mut sens = Vec::with_capacity(cfg.n);
+    let mut base_features = vec![0.0f64; cfg.n * d];
+    for i in 0..cfg.n {
+        let s = u8::from(rng.gen_bool(cfg.p_protected));
+        sens.push(s);
+        for j in 0..d {
+            base_features[i * d + j] = std_normal(&mut rng);
+        }
+    }
+    let noise: Vec<f64> = (0..cfg.n).map(|_| std_normal(&mut rng) * 0.5).collect();
+
+    // Helper: proxy-shifted features and the resulting score per row.
+    // Protected rows (s = 1) have proxies shifted *down* by `delta`, the
+    // favored group up, so the proxy is informative about s.
+    let score_with_delta = |delta: f64, out_feats: Option<&mut Vec<f64>>| -> Vec<f64> {
+        let mut feats = base_features.clone();
+        for i in 0..cfg.n {
+            let dir = if sens[i] == 1 { -1.0 } else { 1.0 };
+            for j in 0..n_prox {
+                feats[i * d + j] += dir * delta;
+            }
+        }
+        let scores: Vec<f64> = (0..cfg.n)
+            .map(|i| {
+                let row = &feats[i * d..(i + 1) * d];
+                row.iter().zip(&weights).map(|(x, w)| x * w).sum::<f64>() + noise[i]
+            })
+            .collect();
+        if let Some(out) = out_feats {
+            *out = feats;
+        }
+        scores
+    };
+
+    // Label noise p pulls every rate toward 0.5; widen the pre-noise
+    // targets so the *observed* mean difference matches `cfg.bias`.
+    let noise_comp = if cfg.label_noise < 0.5 { 1.0 - 2.0 * cfg.label_noise } else { 1.0 };
+    let pre_bias = (cfg.bias / noise_comp).min(2.0 * cfg.base_rate.min(1.0 - cfg.base_rate));
+    let rate_protected = (cfg.base_rate - pre_bias / 2.0).clamp(0.01, 0.99);
+    let rate_favored = (cfg.base_rate + pre_bias / 2.0).clamp(0.01, 0.99);
+
+    let (features, labels) = match cfg.kind {
+        BiasKind::Social => {
+            // No proxy shift; per-group thresholds hit the rates exactly.
+            let scores = score_with_delta(0.0, None);
+            let mut labels = vec![0u8; cfg.n];
+            for (target, group) in [(rate_favored, 0u8), (rate_protected, 1u8)] {
+                let mut group_scores: Vec<f64> = (0..cfg.n)
+                    .filter(|&i| sens[i] == group)
+                    .map(|i| scores[i])
+                    .collect();
+                if group_scores.is_empty() {
+                    continue;
+                }
+                let thr = quantile(&mut group_scores, 1.0 - target);
+                for i in 0..cfg.n {
+                    if sens[i] == group && scores[i] > thr {
+                        labels[i] = 1;
+                    }
+                }
+            }
+            (base_features, labels)
+        }
+        BiasKind::Implicit => {
+            // One *global* threshold; bias must come from the proxy shift.
+            // The group-rate difference is monotone in delta, so bisect.
+            let overall = cfg.p_protected * rate_protected + (1.0 - cfg.p_protected) * rate_favored;
+            let diff_at = |delta: f64| -> f64 {
+                let scores = score_with_delta(delta, None);
+                let thr = quantile(&mut scores.clone(), 1.0 - overall);
+                let mut pos = [0usize; 2];
+                let mut tot = [0usize; 2];
+                for i in 0..cfg.n {
+                    tot[sens[i] as usize] += 1;
+                    if scores[i] > thr {
+                        pos[sens[i] as usize] += 1;
+                    }
+                }
+                let r0 = pos[0] as f64 / tot[0].max(1) as f64;
+                let r1 = pos[1] as f64 / tot[1].max(1) as f64;
+                r0 - r1
+            };
+            let (mut lo, mut hi) = (0.0f64, 4.0f64);
+            for _ in 0..40 {
+                let mid = 0.5 * (lo + hi);
+                // The bisection observes pre-noise rates, so it targets the
+                // noise-compensated bias.
+                if diff_at(mid) < pre_bias {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            let delta = 0.5 * (lo + hi);
+            let mut feats = Vec::new();
+            let scores = score_with_delta(delta, Some(&mut feats));
+            let thr = quantile(&mut scores.clone(), 1.0 - overall);
+            let labels: Vec<u8> = scores.iter().map(|&sc| u8::from(sc > thr)).collect();
+            (feats, labels)
+        }
+    };
+
+    // Irreducible label noise.
+    let mut labels = labels;
+    for l in labels.iter_mut() {
+        if rng.gen_bool(cfg.label_noise) {
+            *l ^= 1;
+        }
+    }
+
+    // Assemble rows: [sens, f0..f{d-1}].
+    let mut names = Vec::with_capacity(d + 1);
+    names.push("sens".to_string());
+    for j in 0..d {
+        if j < n_prox && cfg.kind == BiasKind::Implicit {
+            names.push(format!("proxy{j}"));
+        } else {
+            names.push(format!("x{j}"));
+        }
+    }
+    let schema = Schema::with_binary_sensitive(names, 0, "label")?;
+    let mut flat = Vec::with_capacity(cfg.n * (d + 1));
+    for i in 0..cfg.n {
+        flat.push(sens[i] as f64);
+        flat.extend_from_slice(&features[i * d..(i + 1) * d]);
+    }
+    Dataset::from_flat(schema, flat, labels)
+}
+
+/// The paper's `social30` dataset (social bias, 30% mean difference).
+///
+/// # Errors
+/// Propagates generation failures (cannot occur for this fixed config).
+pub fn social30(seed: u64) -> Result<Dataset, DatasetError> {
+    generate(&SyntheticConfig::social(0.30), seed)
+}
+
+/// The paper's `implicit30` dataset (implicit bias, 30% mean difference).
+///
+/// # Errors
+/// Propagates generation failures (cannot occur for this fixed config).
+pub fn implicit30(seed: u64) -> Result<Dataset, DatasetError> {
+    generate(&SyntheticConfig::implicit(0.30), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::pearson;
+
+    fn group_rates(ds: &Dataset) -> (f64, f64) {
+        let rates = ds.group_positive_rates();
+        (rates[0].unwrap(), rates[1].unwrap())
+    }
+
+    #[test]
+    fn social_hits_target_rates() {
+        let mut cfg = SyntheticConfig::social(0.30);
+        cfg.n = 6000;
+        cfg.label_noise = 0.0;
+        let ds = generate(&cfg, 1).unwrap();
+        let (favored, protected) = group_rates(&ds);
+        assert!((favored - 0.65).abs() < 0.02, "favored rate {favored}");
+        assert!((protected - 0.35).abs() < 0.02, "protected rate {protected}");
+    }
+
+    #[test]
+    fn implicit_hits_target_bias_without_direct_effect() {
+        let mut cfg = SyntheticConfig::implicit(0.30);
+        cfg.n = 6000;
+        cfg.label_noise = 0.0;
+        let ds = generate(&cfg, 2).unwrap();
+        let (favored, protected) = group_rates(&ds);
+        assert!(
+            ((favored - protected) - 0.30).abs() < 0.03,
+            "mean difference {}",
+            favored - protected
+        );
+    }
+
+    #[test]
+    fn implicit_proxies_correlate_with_sensitive_attribute() {
+        let mut cfg = SyntheticConfig::implicit(0.30);
+        cfg.n = 4000;
+        let ds = generate(&cfg, 3).unwrap();
+        let s = ds.column(0);
+        // Columns 1..=3 are proxies, 4.. are clean.
+        let r_proxy = pearson(&s, &ds.column(1)).abs();
+        let r_clean = pearson(&s, &ds.column(5)).abs();
+        assert!(r_proxy > 0.3, "proxy correlation {r_proxy}");
+        assert!(r_clean < 0.1, "clean correlation {r_clean}");
+    }
+
+    #[test]
+    fn social_features_do_not_correlate_with_sensitive_attribute() {
+        let mut cfg = SyntheticConfig::social(0.30);
+        cfg.n = 4000;
+        let ds = generate(&cfg, 4).unwrap();
+        let s = ds.column(0);
+        for j in 1..=8 {
+            assert!(pearson(&s, &ds.column(j)).abs() < 0.1, "feature {j} leaks s");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = social30(9).unwrap();
+        let b = social30(9).unwrap();
+        assert_eq!(a.flat(), b.flat());
+        assert_eq!(a.labels(), b.labels());
+        let c = social30(10).unwrap();
+        assert_ne!(a.labels(), c.labels());
+    }
+
+    #[test]
+    fn shape_matches_paper() {
+        let ds = implicit30(5).unwrap();
+        assert_eq!(ds.len(), 14_000);
+        assert_eq!(ds.n_attrs(), 9); // sens + 8 features
+        assert_eq!(ds.group_index().len(), 2);
+    }
+
+    #[test]
+    fn concept_is_learnable_from_features() {
+        // Sanity: a trivial linear probe on the score features should beat
+        // chance comfortably, otherwise models can't show accuracy spread.
+        let mut cfg = SyntheticConfig::social(0.0);
+        cfg.n = 4000;
+        cfg.label_noise = 0.0;
+        let ds = generate(&cfg, 6).unwrap();
+        // Use the sum of features as a crude score.
+        let mut correct = 0usize;
+        for i in 0..ds.len() {
+            let sum: f64 = ds.row(i)[1..].iter().sum();
+            let pred = u8::from(sum > 0.0);
+            correct += usize::from(pred == ds.label(i));
+        }
+        let acc = correct as f64 / ds.len() as f64;
+        assert!(acc > 0.75, "accuracy of linear probe {acc}");
+    }
+
+    #[test]
+    fn zero_rows_is_an_error() {
+        let mut cfg = SyntheticConfig::social(0.3);
+        cfg.n = 0;
+        assert!(generate(&cfg, 0).is_err());
+    }
+}

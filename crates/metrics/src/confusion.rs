@@ -1,0 +1,164 @@
+//! Confusion counts (overall and per group) and accuracy.
+
+use falcc_dataset::GroupId;
+
+/// True/false positive/negative counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConfusionCounts {
+    /// Predicted 1, actual 1.
+    pub tp: usize,
+    /// Predicted 1, actual 0.
+    pub fp: usize,
+    /// Predicted 0, actual 0.
+    pub tn: usize,
+    /// Predicted 0, actual 1.
+    pub fn_: usize,
+}
+
+impl ConfusionCounts {
+    /// Accumulates one (label, prediction) pair.
+    #[inline]
+    pub fn add(&mut self, y: u8, z: u8) {
+        match (y, z) {
+            (1, 1) => self.tp += 1,
+            (0, 1) => self.fp += 1,
+            (0, 0) => self.tn += 1,
+            _ => self.fn_ += 1,
+        }
+    }
+
+    /// Total number of accumulated samples.
+    #[inline]
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Number of positive predictions.
+    #[inline]
+    pub fn predicted_positive(&self) -> usize {
+        self.tp + self.fp
+    }
+
+    /// `P(z=1)` over the accumulated samples; 0 when empty.
+    pub fn positive_prediction_rate(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.predicted_positive() as f64 / t as f64
+        }
+    }
+
+    /// `P(z=1 | y=1)` (true positive rate); `None` when there are no
+    /// positive-label samples.
+    pub fn tpr(&self) -> Option<f64> {
+        let denom = self.tp + self.fn_;
+        (denom > 0).then(|| self.tp as f64 / denom as f64)
+    }
+
+    /// `P(z=1 | y=0)` (false positive rate); `None` when there are no
+    /// negative-label samples.
+    pub fn fpr(&self) -> Option<f64> {
+        let denom = self.fp + self.tn;
+        (denom > 0).then(|| self.fp as f64 / denom as f64)
+    }
+
+    /// `FP / (FP + FN)` — the treatment-equality ratio; `None` when both
+    /// error counts are zero.
+    pub fn treatment_ratio(&self) -> Option<f64> {
+        let denom = self.fp + self.fn_;
+        (denom > 0).then(|| self.fp as f64 / denom as f64)
+    }
+
+    /// Builds overall counts from parallel label/prediction slices.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length.
+    pub fn from_slices(y: &[u8], z: &[u8]) -> Self {
+        assert_eq!(y.len(), z.len(), "labels and predictions must be parallel");
+        let mut c = Self::default();
+        for (&yi, &zi) in y.iter().zip(z) {
+            c.add(yi, zi);
+        }
+        c
+    }
+
+    /// Builds one `ConfusionCounts` per group (indexed by [`GroupId`]).
+    ///
+    /// # Panics
+    /// Panics if slice lengths differ or a group id is out of range.
+    pub fn per_group(y: &[u8], z: &[u8], g: &[GroupId], n_groups: usize) -> Vec<Self> {
+        assert_eq!(y.len(), z.len());
+        assert_eq!(y.len(), g.len());
+        let mut per = vec![Self::default(); n_groups];
+        for i in 0..y.len() {
+            per[g[i].index()].add(y[i], z[i]);
+        }
+        per
+    }
+}
+
+/// Fraction of correct predictions. Returns 1.0 for empty input (vacuously
+/// perfect, so empty clusters never penalise assessments).
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn accuracy(y: &[u8], z: &[u8]) -> f64 {
+    assert_eq!(y.len(), z.len(), "labels and predictions must be parallel");
+    if y.is_empty() {
+        return 1.0;
+    }
+    let correct = y.iter().zip(z).filter(|(a, b)| a == b).count();
+    correct as f64 / y.len() as f64
+}
+
+/// `1 − accuracy`; the paper's L1 inaccuracy term in Eq. 2.
+pub fn inaccuracy(y: &[u8], z: &[u8]) -> f64 {
+    1.0 - accuracy(y, z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate_correctly() {
+        let y = [1, 1, 0, 0, 1];
+        let z = [1, 0, 1, 0, 1];
+        let c = ConfusionCounts::from_slices(&y, &z);
+        assert_eq!(c, ConfusionCounts { tp: 2, fp: 1, tn: 1, fn_: 1 });
+        assert_eq!(c.total(), 5);
+        assert_eq!(c.predicted_positive(), 3);
+        assert!((c.positive_prediction_rate() - 0.6).abs() < 1e-12);
+        assert!((c.tpr().unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.fpr().unwrap() - 0.5).abs() < 1e-12);
+        assert!((c.treatment_ratio().unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rates_are_none_when_undefined() {
+        let c = ConfusionCounts::from_slices(&[0, 0], &[0, 1]);
+        assert!(c.tpr().is_none());
+        assert!(c.fpr().is_some());
+        let perfect = ConfusionCounts::from_slices(&[1, 0], &[1, 0]);
+        assert!(perfect.treatment_ratio().is_none());
+    }
+
+    #[test]
+    fn per_group_partitions_counts() {
+        let y = [1, 0, 1, 0];
+        let z = [1, 1, 0, 0];
+        let g = [GroupId(0), GroupId(1), GroupId(0), GroupId(1)];
+        let per = ConfusionCounts::per_group(&y, &z, &g, 2);
+        assert_eq!(per[0], ConfusionCounts { tp: 1, fp: 0, tn: 0, fn_: 1 });
+        assert_eq!(per[1], ConfusionCounts { tp: 0, fp: 1, tn: 1, fn_: 0 });
+        assert_eq!(per[0].total() + per[1].total(), 4);
+    }
+
+    #[test]
+    fn accuracy_and_inaccuracy() {
+        assert!((accuracy(&[1, 0, 1], &[1, 0, 0]) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((inaccuracy(&[1, 0, 1], &[1, 0, 0]) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(accuracy(&[], &[]), 1.0);
+    }
+}

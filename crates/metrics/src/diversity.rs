@@ -1,0 +1,151 @@
+//! Ensemble-diversity measures.
+//!
+//! The paper measures the diversity of a trained model pool with the
+//! *non-pairwise entropy* of Cunningham & Carney (2000) — higher entropy of
+//! the per-sample prediction split means the models disagree more, i.e. the
+//! pool is more diverse. FALCC's diverse-model-training component maximises
+//! this (paper §3.3, Fig. 4).
+//!
+//! Two variants are provided:
+//! * [`shannon_entropy_diversity`] — mean per-sample Shannon entropy of the
+//!   fraction of models predicting 1, normalised to `[0, 1]`.
+//! * [`kuncheva_entropy`] — the piecewise-linear entropy measure of
+//!   Kuncheva & Whitaker (2003), also in `[0, 1]`; cheaper and commonly
+//!   used interchangeably in the ensemble literature.
+
+/// Per-sample fraction of models voting 1.
+///
+/// `predictions[m][i]` is model `m`'s prediction for sample `i`.
+///
+/// # Panics
+/// Panics if the prediction rows have unequal lengths.
+fn vote_fractions(predictions: &[Vec<u8>]) -> Vec<f64> {
+    let n_models = predictions.len();
+    if n_models == 0 {
+        return Vec::new();
+    }
+    let n = predictions[0].len();
+    for (m, row) in predictions.iter().enumerate() {
+        assert_eq!(row.len(), n, "model {m} predicted {} of {n} samples", row.len());
+    }
+    (0..n)
+        .map(|i| {
+            predictions.iter().map(|row| row[i] as usize).sum::<usize>() as f64
+                / n_models as f64
+        })
+        .collect()
+}
+
+/// Mean per-sample Shannon entropy of the ensemble's vote split, normalised
+/// by `ln 2` so the result lies in `[0, 1]`. 0 = all models always agree;
+/// 1 = every sample splits the pool exactly in half.
+///
+/// Returns 0 for fewer than two models (a single model has no diversity).
+pub fn shannon_entropy_diversity(predictions: &[Vec<u8>]) -> f64 {
+    if predictions.len() < 2 {
+        return 0.0;
+    }
+    let fractions = vote_fractions(predictions);
+    if fractions.is_empty() {
+        return 0.0;
+    }
+    let ln2 = std::f64::consts::LN_2;
+    let mean: f64 = fractions
+        .iter()
+        .map(|&p| {
+            if p <= 0.0 || p >= 1.0 {
+                0.0
+            } else {
+                -(p * p.ln() + (1.0 - p) * (1.0 - p).ln()) / ln2
+            }
+        })
+        .sum::<f64>()
+        / fractions.len() as f64;
+    mean
+}
+
+/// Kuncheva & Whitaker's entropy measure:
+/// `E = (1/N) Σ_i min(l_i, L−l_i) / (L − ⌈L/2⌉)` where `l_i` is the number
+/// of models predicting 1 on sample `i` and `L` the number of models.
+///
+/// Returns 0 for fewer than two models.
+pub fn kuncheva_entropy(predictions: &[Vec<u8>]) -> f64 {
+    let l = predictions.len();
+    if l < 2 {
+        return 0.0;
+    }
+    let n = predictions[0].len();
+    if n == 0 {
+        return 0.0;
+    }
+    let denom = (l - l.div_ceil(2)) as f64;
+    let mut total = 0.0;
+    for i in 0..n {
+        let li = predictions.iter().map(|row| row[i] as usize).sum::<usize>();
+        total += li.min(l - li) as f64 / denom;
+    }
+    total / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_models_have_zero_diversity() {
+        let preds = vec![vec![1, 0, 1, 0]; 5];
+        assert_eq!(shannon_entropy_diversity(&preds), 0.0);
+        assert_eq!(kuncheva_entropy(&preds), 0.0);
+    }
+
+    #[test]
+    fn maximally_split_pool_has_diversity_one() {
+        // 4 models, every sample splits 2/2.
+        let preds = vec![
+            vec![1, 1, 0],
+            vec![1, 0, 1],
+            vec![0, 1, 0],
+            vec![0, 0, 1],
+        ];
+        assert!((shannon_entropy_diversity(&preds) - 1.0).abs() < 1e-12);
+        assert!((kuncheva_entropy(&preds) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_disagreement_is_in_between() {
+        let preds = vec![vec![1, 1, 1, 1], vec![1, 1, 1, 1], vec![1, 0, 1, 1]];
+        let s = shannon_entropy_diversity(&preds);
+        let k = kuncheva_entropy(&preds);
+        assert!(s > 0.0 && s < 1.0, "shannon {s}");
+        assert!(k > 0.0 && k < 1.0, "kuncheva {k}");
+    }
+
+    #[test]
+    fn hand_computed_shannon() {
+        // 2 models, 2 samples: agree on sample 0, split on sample 1.
+        // Sample 0: p = 1 → H = 0. Sample 1: p = 0.5 → H = 1. Mean = 0.5.
+        let preds = vec![vec![1, 1], vec![1, 0]];
+        assert!((shannon_entropy_diversity(&preds) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measures_are_monotone_in_disagreement() {
+        let low = vec![vec![1, 1, 1, 1, 1, 1], vec![1, 1, 1, 1, 1, 0]];
+        let high = vec![vec![1, 1, 1, 0, 0, 0], vec![0, 0, 0, 1, 1, 1]];
+        assert!(shannon_entropy_diversity(&high) > shannon_entropy_diversity(&low));
+        assert!(kuncheva_entropy(&high) > kuncheva_entropy(&low));
+    }
+
+    #[test]
+    fn degenerate_inputs_are_zero() {
+        assert_eq!(shannon_entropy_diversity(&[]), 0.0);
+        assert_eq!(shannon_entropy_diversity(&[vec![1, 0]]), 0.0);
+        assert_eq!(kuncheva_entropy(&[vec![], vec![]]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "model 1")]
+    fn mismatched_rows_panic() {
+        shannon_entropy_diversity(&[vec![1, 0], vec![1]]);
+    }
+}

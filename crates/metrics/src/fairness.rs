@@ -1,0 +1,232 @@
+//! The four global group-fairness metrics of the paper's Tab. 3, as
+//! normalized mean-difference scores.
+//!
+//! Each metric compares every sensitive group against the population value
+//! and averages the absolute differences over the groups, yielding a bias in
+//! `[0, 1]` where 0 is perfectly fair. Groups with no samples (or no samples
+//! of the conditioning label) are excluded from the average — the same
+//! convention the published FALCC implementation uses; without it, a single
+//! small cluster missing one group would report spurious bias.
+
+use crate::confusion::ConfusionCounts;
+use falcc_dataset::GroupId;
+use serde::{Deserialize, Serialize};
+
+/// The fairness definitions FALCC integrates (paper Tab. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FairnessMetric {
+    /// Groups have equal probability of a positive outcome (Dwork et al.).
+    DemographicParity,
+    /// Equal TPR and FPR across groups (Hardt et al.).
+    EqualizedOdds,
+    /// Equal TPR across groups (Hardt et al.).
+    EqualOpportunity,
+    /// Equal FP/(FP+FN) ratio across groups (Berk et al.).
+    TreatmentEquality,
+}
+
+impl FairnessMetric {
+    /// All metrics, in the paper's Tab. 3 order.
+    pub const ALL: [Self; 4] = [
+        Self::DemographicParity,
+        Self::EqualizedOdds,
+        Self::EqualOpportunity,
+        Self::TreatmentEquality,
+    ];
+
+    /// Short identifier used in experiment output (`dp`, `eq_od`, `eq_op`,
+    /// `tr_eq` — the paper's notation).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Self::DemographicParity => "dp",
+            Self::EqualizedOdds => "eq_od",
+            Self::EqualOpportunity => "eq_op",
+            Self::TreatmentEquality => "tr_eq",
+        }
+    }
+
+    /// Computes the bias of predictions `z` against labels `y` with group
+    /// assignment `g` over `n_groups` groups. Returns a value in `[0, 1]`;
+    /// 0 when fewer than two groups are represented.
+    ///
+    /// # Panics
+    /// Panics if the slices are not parallel or a group id exceeds
+    /// `n_groups`.
+    pub fn bias(self, y: &[u8], z: &[u8], g: &[GroupId], n_groups: usize) -> f64 {
+        let per = ConfusionCounts::per_group(y, z, g, n_groups);
+        let overall = ConfusionCounts::from_slices(y, z);
+        match self {
+            Self::DemographicParity => {
+                let p_overall = overall.positive_prediction_rate();
+                mean_abs_diff(per.iter().filter(|c| c.total() > 0).map(|c| {
+                    c.positive_prediction_rate() - p_overall
+                }))
+            }
+            Self::EqualOpportunity => {
+                let Some(tpr_overall) = overall.tpr() else { return 0.0 };
+                mean_abs_diff(per.iter().filter_map(|c| c.tpr().map(|t| t - tpr_overall)))
+            }
+            Self::EqualizedOdds => {
+                let tpr_term = overall.tpr().map_or(0.0, |tpr_overall| {
+                    mean_abs_diff(per.iter().filter_map(|c| c.tpr().map(|t| t - tpr_overall)))
+                });
+                let fpr_term = overall.fpr().map_or(0.0, |fpr_overall| {
+                    mean_abs_diff(per.iter().filter_map(|c| c.fpr().map(|f| f - fpr_overall)))
+                });
+                0.5 * (tpr_term + fpr_term)
+            }
+            Self::TreatmentEquality => {
+                let Some(ratio_overall) = overall.treatment_ratio() else { return 0.0 };
+                mean_abs_diff(
+                    per.iter()
+                        .filter_map(|c| c.treatment_ratio().map(|r| r - ratio_overall)),
+                )
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for FairnessMetric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Self::DemographicParity => "demographic parity",
+            Self::EqualizedOdds => "equalized odds",
+            Self::EqualOpportunity => "equal opportunity",
+            Self::TreatmentEquality => "treatment equality",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Mean of absolute values over an iterator; 0 for an empty iterator or a
+/// single contributing group (bias needs at least two groups to exist).
+fn mean_abs_diff(diffs: impl Iterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for d in diffs {
+        sum += d.abs();
+        count += 1;
+    }
+    if count < 2 {
+        0.0
+    } else {
+        sum / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const G0: GroupId = GroupId(0);
+    const G1: GroupId = GroupId(1);
+
+    #[test]
+    fn demographic_parity_fair_and_unfair() {
+        // Fair: both groups get 50% positive predictions.
+        let z = [1, 0, 1, 0];
+        let y = [1, 1, 0, 0];
+        let g = [G0, G0, G1, G1];
+        let fair = FairnessMetric::DemographicParity.bias(&y, &z, &g, 2);
+        assert!(fair.abs() < 1e-12);
+
+        // Maximally unfair: group 0 all positive, group 1 all negative.
+        let z = [1, 1, 0, 0];
+        let unfair = FairnessMetric::DemographicParity.bias(&y, &z, &g, 2);
+        assert!((unfair - 0.5).abs() < 1e-12, "mean |1−0.5| = 0.5, got {unfair}");
+    }
+
+    #[test]
+    fn demographic_parity_hand_computed() {
+        // Group 0: 3 samples, 2 positive preds (2/3). Group 1: 3 samples,
+        // 1 positive pred (1/3). Overall: 3/6 = 1/2.
+        // Bias = (|2/3 − 1/2| + |1/3 − 1/2|)/2 = 1/6.
+        let y = [0, 0, 0, 0, 0, 0];
+        let z = [1, 1, 0, 1, 0, 0];
+        let g = [G0, G0, G0, G1, G1, G1];
+        let b = FairnessMetric::DemographicParity.bias(&y, &z, &g, 2);
+        assert!((b - 1.0 / 6.0).abs() < 1e-12, "got {b}");
+    }
+
+    #[test]
+    fn equal_opportunity_only_looks_at_positive_labels() {
+        // TPRs: group0 = 1.0 (1/1), group1 = 0.0 (0/1); overall TPR = 0.5.
+        // Bias = (0.5 + 0.5)/2 = 0.5. Negative-label rows are irrelevant.
+        let y = [1, 0, 1, 0];
+        let z = [1, 1, 0, 0];
+        let g = [G0, G0, G1, G1];
+        let b = FairnessMetric::EqualOpportunity.bias(&y, &z, &g, 2);
+        assert!((b - 0.5).abs() < 1e-12);
+        // Flip a negative-label prediction: no change.
+        let z2 = [1, 0, 0, 1];
+        let b2 = FairnessMetric::EqualOpportunity.bias(&y, &z2, &g, 2);
+        assert!((b2 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equalized_odds_blends_tpr_and_fpr() {
+        // Construct: TPR equal across groups, FPR maximally different.
+        let y = [1, 0, 1, 0];
+        let z = [1, 1, 1, 0];
+        let g = [G0, G0, G1, G1];
+        // TPRs: 1 and 1 → term 0. FPRs: 1 and 0, overall 0.5 → term 0.5.
+        let b = FairnessMetric::EqualizedOdds.bias(&y, &z, &g, 2);
+        assert!((b - 0.25).abs() < 1e-12, "0.5·(0 + 0.5), got {b}");
+    }
+
+    #[test]
+    fn treatment_equality_ratio() {
+        // Group 0: FP=1, FN=0 → ratio 1. Group 1: FP=0, FN=1 → ratio 0.
+        // Overall: FP=1, FN=1 → 0.5. Bias = (0.5+0.5)/2 = 0.5.
+        let y = [0, 1, 1, 0];
+        let z = [1, 1, 0, 0];
+        let g = [G0, G0, G1, G1];
+        let b = FairnessMetric::TreatmentEquality.bias(&y, &z, &g, 2);
+        assert!((b - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn undefined_conditions_yield_zero() {
+        // No positive labels: eq_op and the TPR half of eq_odds undefined.
+        let y = [0, 0, 0, 0];
+        let z = [1, 0, 1, 0];
+        let g = [G0, G0, G1, G1];
+        assert_eq!(FairnessMetric::EqualOpportunity.bias(&y, &z, &g, 2), 0.0);
+        // Perfect predictions: no FP/FN anywhere → tr_eq undefined → 0.
+        let y2 = [1, 0, 1, 0];
+        let z2 = [1, 0, 1, 0];
+        assert_eq!(FairnessMetric::TreatmentEquality.bias(&y2, &z2, &g, 2), 0.0);
+    }
+
+    #[test]
+    fn single_group_present_is_unbiased() {
+        let y = [1, 0, 1];
+        let z = [1, 1, 0];
+        let g = [G0, G0, G0];
+        for m in FairnessMetric::ALL {
+            assert_eq!(m.bias(&y, &z, &g, 2), 0.0, "{m}");
+        }
+    }
+
+    #[test]
+    fn bias_is_bounded() {
+        // Exhaustive check over small prediction patterns.
+        let y = [1, 0, 1, 0, 1, 0];
+        let g = [G0, G0, G0, G1, G1, G1];
+        for bits in 0..64u32 {
+            let z: Vec<u8> = (0..6).map(|i| ((bits >> i) & 1) as u8).collect();
+            for m in FairnessMetric::ALL {
+                let b = m.bias(&y, &z, &g, 2);
+                assert!((0.0..=1.0).contains(&b), "{m} out of range: {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn short_names_match_paper_notation() {
+        assert_eq!(FairnessMetric::DemographicParity.short_name(), "dp");
+        assert_eq!(FairnessMetric::EqualizedOdds.short_name(), "eq_od");
+        assert_eq!(FairnessMetric::EqualOpportunity.short_name(), "eq_op");
+        assert_eq!(FairnessMetric::TreatmentEquality.short_name(), "tr_eq");
+    }
+}

@@ -1,0 +1,139 @@
+//! Individual fairness via *consistency* (Zemel et al. 2013): a prediction
+//! is individually fair when it agrees with the predictions of the sample's
+//! k nearest neighbours (in the non-sensitive feature space).
+//!
+//! `consistency = 1 − (1/n) Σ_i |z_i − mean(z_j for j ∈ kNN(i))|`
+//!
+//! We report `1 − consistency` as **individual bias** in the experiment
+//! harness so that, like the group metrics, lower is better.
+
+use falcc_dataset::dataset::ProjectedMatrix;
+
+/// Consistency from precomputed neighbour lists. `neighbors[i]` holds the
+/// indices of the k nearest neighbours of sample `i` (not including `i`).
+/// Samples with an empty neighbour list count as fully consistent.
+///
+/// # Panics
+/// Panics if `neighbors` is not parallel to `z` or an index is out of
+/// bounds.
+pub fn consistency_with_neighbors(z: &[u8], neighbors: &[Vec<usize>]) -> f64 {
+    assert_eq!(z.len(), neighbors.len(), "one neighbour list per prediction");
+    if z.is_empty() {
+        return 1.0;
+    }
+    let mut total = 0.0;
+    for (i, nbrs) in neighbors.iter().enumerate() {
+        if nbrs.is_empty() {
+            continue;
+        }
+        let mean: f64 =
+            nbrs.iter().map(|&j| z[j] as f64).sum::<f64>() / nbrs.len() as f64;
+        total += (z[i] as f64 - mean).abs();
+    }
+    1.0 - total / z.len() as f64
+}
+
+/// Consistency with brute-force kNN over a projected feature matrix
+/// (O(n²·d); fine for test-split sizes, use the kd-tree in
+/// `falcc-clustering` for large inputs).
+///
+/// # Panics
+/// Panics if `x.n_rows != z.len()` or `k == 0`.
+pub fn consistency(x: &ProjectedMatrix, z: &[u8], k: usize) -> f64 {
+    assert_eq!(x.n_rows, z.len(), "matrix rows must match predictions");
+    assert!(k > 0, "k must be positive");
+    let n = x.n_rows;
+    if n <= 1 {
+        return 1.0;
+    }
+    let k = k.min(n - 1);
+    let mut neighbors = Vec::with_capacity(n);
+    for i in 0..n {
+        let xi = x.row(i);
+        // Partial selection of the k smallest distances.
+        let mut dists: Vec<(f64, usize)> = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| (sq_dist(xi, x.row(j)), j))
+            .collect();
+        dists.select_nth_unstable_by(k - 1, |a, b| {
+            a.0.partial_cmp(&b.0).expect("distances are finite")
+        });
+        neighbors.push(dists[..k].iter().map(|&(_, j)| j).collect::<Vec<_>>());
+    }
+    consistency_with_neighbors(z, &neighbors)
+}
+
+#[inline]
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(rows: &[&[f64]]) -> ProjectedMatrix {
+        let n_cols = rows[0].len();
+        ProjectedMatrix {
+            data: rows.iter().flat_map(|r| r.iter().copied()).collect(),
+            n_cols,
+            n_rows: rows.len(),
+        }
+    }
+
+    #[test]
+    fn uniform_predictions_are_fully_consistent() {
+        let x = matrix(&[&[0.0], &[1.0], &[2.0], &[3.0]]);
+        assert!((consistency(&x, &[1, 1, 1, 1], 2) - 1.0).abs() < 1e-12);
+        assert!((consistency(&x, &[0, 0, 0, 0], 2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spatially_coherent_predictions_are_consistent() {
+        // Two well-separated blobs, each uniformly labeled.
+        let x = matrix(&[&[0.0], &[0.1], &[0.2], &[10.0], &[10.1], &[10.2]]);
+        let z = [0, 0, 0, 1, 1, 1];
+        assert!((consistency(&x, &z, 2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outlier_prediction_reduces_consistency() {
+        let x = matrix(&[&[0.0], &[0.1], &[0.2], &[0.3]]);
+        let z = [0, 0, 0, 1]; // one sample disagrees with its neighbourhood
+        let c = consistency(&x, &z, 3);
+        assert!(c < 1.0);
+        assert!(c > 0.0);
+    }
+
+    #[test]
+    fn hand_computed_value() {
+        // 3 points on a line, k = 2 (both others are the neighbours).
+        // z = [1, 0, 0]: |1 − 0| + |0 − 0.5| + |0 − 0.5| = 2 → 1 − 2/3.
+        let x = matrix(&[&[0.0], &[1.0], &[2.0]]);
+        let c = consistency(&x, &[1, 0, 0], 2);
+        assert!((c - (1.0 - 2.0 / 3.0)).abs() < 1e-12, "got {c}");
+    }
+
+    #[test]
+    fn neighbor_list_variant_matches() {
+        let neighbors = vec![vec![1, 2], vec![0, 2], vec![0, 1]];
+        let c = consistency_with_neighbors(&[1, 0, 0], &neighbors);
+        assert!((c - (1.0 - 2.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(consistency_with_neighbors(&[], &[]), 1.0);
+        let x = matrix(&[&[0.0]]);
+        assert_eq!(consistency(&x, &[1], 3), 1.0);
+        // Empty neighbour lists count as consistent.
+        assert_eq!(consistency_with_neighbors(&[1, 0], &[vec![], vec![]]), 1.0);
+    }
+
+    #[test]
+    fn k_larger_than_n_is_clamped() {
+        let x = matrix(&[&[0.0], &[1.0], &[2.0]]);
+        let c = consistency(&x, &[1, 1, 1], 100);
+        assert!((c - 1.0).abs() < 1e-12);
+    }
+}

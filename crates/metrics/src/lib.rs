@@ -1,0 +1,39 @@
+//! # falcc-metrics
+//!
+//! Quality measures for the FALCC reproduction (Lässig & Herschel, EDBT
+//! 2024):
+//!
+//! * [`fairness`] — the four global group-fairness metrics of the paper's
+//!   Tab. 3: demographic parity, equalized odds, equal opportunity, and
+//!   treatment equality, all as normalized mean-difference scores in
+//!   `[0, 1]` (lower = fairer).
+//! * [`loss`] — the paper's Eq. 2 template `L̂ = λ·inaccuracy + (1−λ)·bias`
+//!   used for model assessment and for ranking algorithms.
+//! * [`local`] — *local* bias: a global metric evaluated inside each local
+//!   region (cluster) and averaged weighted by region size (§4.1.3).
+//! * [`individual`] — individual fairness via consistency (Zemel et al.):
+//!   agreement of a sample's prediction with its k nearest neighbours.
+//! * [`confusion`] — per-group confusion counts underlying the metrics.
+//! * [`pareto`] — Pareto-front membership and L̂-based top-k ranking used in
+//!   the paper's Tab. 5 summary.
+//! * [`diversity`] — non-pairwise entropy diversity of a model pool
+//!   (Cunningham & Carney 2000), the x-axis of the paper's Fig. 4.
+//!
+//! Every function takes plain slices (`labels`, `predictions`, `groups`) so
+//! the metrics stay decoupled from any particular model or dataset type.
+
+pub mod confusion;
+pub mod diversity;
+pub mod fairness;
+pub mod individual;
+pub mod local;
+pub mod loss;
+pub mod pareto;
+
+pub use confusion::{accuracy, inaccuracy, ConfusionCounts};
+pub use diversity::{kuncheva_entropy, shannon_entropy_diversity};
+pub use fairness::FairnessMetric;
+pub use individual::{consistency, consistency_with_neighbors};
+pub use local::{local_bias, local_l_hat};
+pub use loss::{l_hat, LossConfig};
+pub use pareto::{in_top_k, pareto_front, rank_by_l_hat, QualityPoint};

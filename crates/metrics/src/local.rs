@@ -1,0 +1,183 @@
+//! Local fairness: a global metric evaluated inside each local region.
+//!
+//! The paper (§4.1.3) reports "the average local bias over all clusters
+//! (= regions), weighted by the sample ratio within the clusters". Local
+//! L̂ additionally blends in the inaccuracy term of Eq. 2 per region; the
+//! paper's rankings use λ = 0.5.
+
+use crate::fairness::FairnessMetric;
+use crate::loss::LossConfig;
+use falcc_dataset::GroupId;
+
+/// Splits samples by `regions[i]` (region ids in `0..n_regions`) and returns
+/// per-region index lists.
+fn region_indices(regions: &[usize], n_regions: usize) -> Vec<Vec<usize>> {
+    let mut out = vec![Vec::new(); n_regions];
+    for (i, &r) in regions.iter().enumerate() {
+        assert!(r < n_regions, "region id {r} out of range {n_regions}");
+        out[r].push(i);
+    }
+    out
+}
+
+fn gather<T: Copy>(src: &[T], idx: &[usize]) -> Vec<T> {
+    idx.iter().map(|&i| src[i]).collect()
+}
+
+/// Sample-weighted average of `metric` bias over local regions.
+///
+/// `regions[i]` assigns sample `i` to a region in `0..n_regions`. Empty
+/// regions contribute nothing (weight 0).
+///
+/// # Panics
+/// Panics if slices are not parallel or a region id is out of range.
+pub fn local_bias(
+    metric: FairnessMetric,
+    y: &[u8],
+    z: &[u8],
+    g: &[GroupId],
+    n_groups: usize,
+    regions: &[usize],
+    n_regions: usize,
+) -> f64 {
+    assert_eq!(y.len(), z.len());
+    assert_eq!(y.len(), g.len());
+    assert_eq!(y.len(), regions.len());
+    if y.is_empty() {
+        return 0.0;
+    }
+    let per_region = region_indices(regions, n_regions);
+    let n = y.len() as f64;
+    per_region
+        .iter()
+        .filter(|idx| !idx.is_empty())
+        .map(|idx| {
+            let weight = idx.len() as f64 / n;
+            let b = metric.bias(&gather(y, idx), &gather(z, idx), &gather(g, idx), n_groups);
+            weight * b
+        })
+        .sum()
+}
+
+/// Sample-weighted average of the Eq. 2 loss `L̂` over local regions (the
+/// paper's "local bias ... directly uses Eq. 2 with λ = 0.5" reading).
+///
+/// # Panics
+/// Same conditions as [`local_bias`].
+pub fn local_l_hat(
+    cfg: LossConfig,
+    y: &[u8],
+    z: &[u8],
+    g: &[GroupId],
+    n_groups: usize,
+    regions: &[usize],
+    n_regions: usize,
+) -> f64 {
+    assert_eq!(y.len(), z.len());
+    assert_eq!(y.len(), g.len());
+    assert_eq!(y.len(), regions.len());
+    if y.is_empty() {
+        return 0.0;
+    }
+    let per_region = region_indices(regions, n_regions);
+    let n = y.len() as f64;
+    per_region
+        .iter()
+        .filter(|idx| !idx.is_empty())
+        .map(|idx| {
+            let weight = idx.len() as f64 / n;
+            weight
+                * cfg.evaluate(&gather(y, idx), &gather(z, idx), &gather(g, idx), n_groups)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const G0: GroupId = GroupId(0);
+    const G1: GroupId = GroupId(1);
+
+    #[test]
+    fn globally_fair_but_locally_biased() {
+        // The paper's Fig. 1 situation: overall parity holds, but within
+        // region 0 all of group 0 is positive and all of group 1 negative
+        // (and vice versa in region 1).
+        let y = [1, 1, 0, 0, 1, 1, 0, 0];
+        let z = [1, 1, 0, 0, 0, 0, 1, 1];
+        let g = [G0, G0, G1, G1, G0, G0, G1, G1];
+        let regions = [0, 0, 0, 0, 1, 1, 1, 1];
+        let global = FairnessMetric::DemographicParity.bias(&y, &z, &g, 2);
+        assert!(global.abs() < 1e-12, "global parity holds: {global}");
+        let local = local_bias(
+            FairnessMetric::DemographicParity,
+            &y,
+            &z,
+            &g,
+            2,
+            &regions,
+            2,
+        );
+        assert!(local > 0.4, "local bias should be large: {local}");
+    }
+
+    #[test]
+    fn one_region_reduces_to_global() {
+        let y = [1, 0, 1, 0, 1, 0];
+        let z = [1, 1, 0, 0, 1, 0];
+        let g = [G0, G0, G0, G1, G1, G1];
+        let regions = [0, 0, 0, 0, 0, 0];
+        let local =
+            local_bias(FairnessMetric::DemographicParity, &y, &z, &g, 2, &regions, 1);
+        let global = FairnessMetric::DemographicParity.bias(&y, &z, &g, 2);
+        assert!((local - global).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighting_is_by_region_size() {
+        // Region 0 (4 samples): maximal dp bias. Region 1 (2 samples): fair.
+        let y = [0, 0, 0, 0, 0, 0];
+        let z = [1, 1, 0, 0, 1, 1];
+        let g = [G0, G0, G1, G1, G0, G1];
+        let regions = [0, 0, 0, 0, 1, 1];
+        let local =
+            local_bias(FairnessMetric::DemographicParity, &y, &z, &g, 2, &regions, 2);
+        // Region 0 bias = 0.5, region 1 bias = 0 → 4/6 · 0.5 = 1/3.
+        assert!((local - 1.0 / 3.0).abs() < 1e-12, "got {local}");
+    }
+
+    #[test]
+    fn local_l_hat_blends_inaccuracy() {
+        // Perfect predictions that are also fair within each region: both
+        // groups in a region receive the same prediction.
+        let y = [1, 1, 0, 0];
+        let z = [1, 1, 0, 0];
+        let g = [G0, G1, G0, G1];
+        let regions = [0, 0, 1, 1];
+        let cfg = LossConfig::balanced(FairnessMetric::DemographicParity);
+        assert_eq!(local_l_hat(cfg, &y, &z, &g, 2, &regions, 2), 0.0);
+        // All wrong, but fair (everyone positive): L̂ = 0.5 per region.
+        let z2 = [1, 1, 1, 1];
+        let y2 = [0, 0, 0, 0];
+        let v = local_l_hat(cfg, &y2, &z2, &g, 2, &regions, 2);
+        assert!((v - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_is_zero() {
+        assert_eq!(
+            local_bias(FairnessMetric::DemographicParity, &[], &[], &[], 2, &[], 3),
+            0.0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "region id")]
+    fn out_of_range_region_panics() {
+        let y = [1];
+        let z = [1];
+        let g = [G0];
+        local_bias(FairnessMetric::DemographicParity, &y, &z, &g, 2, &[5], 2);
+    }
+}

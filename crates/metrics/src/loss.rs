@@ -1,0 +1,98 @@
+//! The paper's Eq. 2 loss template:
+//! `L̂ = λ·inaccuracy + (1−λ)·unfairness`.
+
+use crate::confusion::inaccuracy;
+use crate::fairness::FairnessMetric;
+use falcc_dataset::GroupId;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the Eq. 2 loss: which fairness definition fills the
+/// unfairness slot and how strongly accuracy is weighted.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LossConfig {
+    /// Weight `λ ∈ [0, 1]` of the inaccuracy term. The paper's evaluation
+    /// uses `λ = 0.5` ("weighing accuracy and bias equally").
+    pub lambda: f64,
+    /// The fairness definition for the unfairness term.
+    pub metric: FairnessMetric,
+}
+
+impl LossConfig {
+    /// Balanced loss (`λ = 0.5`) with the given fairness metric — the
+    /// paper's default configuration.
+    pub fn balanced(metric: FairnessMetric) -> Self {
+        Self { lambda: 0.5, metric }
+    }
+
+    /// Computes `L̂` over parallel label / prediction / group slices.
+    ///
+    /// # Panics
+    /// Panics if `lambda` is outside `[0, 1]` or the slices are not
+    /// parallel.
+    pub fn evaluate(&self, y: &[u8], z: &[u8], g: &[GroupId], n_groups: usize) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&self.lambda),
+            "lambda must be in [0,1], got {}",
+            self.lambda
+        );
+        let inacc = inaccuracy(y, z);
+        let bias = self.metric.bias(y, z, g, n_groups);
+        self.lambda * inacc + (1.0 - self.lambda) * bias
+    }
+}
+
+impl Default for LossConfig {
+    fn default() -> Self {
+        Self::balanced(FairnessMetric::DemographicParity)
+    }
+}
+
+/// Convenience free function: `L̂` from already-computed components.
+pub fn l_hat(lambda: f64, inaccuracy: f64, bias: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&lambda), "lambda must be in [0,1]");
+    lambda * inaccuracy + (1.0 - lambda) * bias
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const G0: GroupId = GroupId(0);
+    const G1: GroupId = GroupId(1);
+
+    #[test]
+    fn perfect_fair_predictions_have_zero_loss() {
+        let y = [1, 0, 1, 0];
+        let g = [G0, G0, G1, G1];
+        let cfg = LossConfig::balanced(FairnessMetric::DemographicParity);
+        assert_eq!(cfg.evaluate(&y, &y, &g, 2), 0.0);
+    }
+
+    #[test]
+    fn lambda_interpolates_between_terms() {
+        // All predictions wrong (inaccuracy 1), but demographic parity holds
+        // (both groups 100% positive predictions → bias 0).
+        let y = [0, 0, 0, 0];
+        let z = [1, 1, 1, 1];
+        let g = [G0, G0, G1, G1];
+        let acc_only = LossConfig { lambda: 1.0, metric: FairnessMetric::DemographicParity };
+        let fair_only = LossConfig { lambda: 0.0, metric: FairnessMetric::DemographicParity };
+        assert_eq!(acc_only.evaluate(&y, &z, &g, 2), 1.0);
+        assert_eq!(fair_only.evaluate(&y, &z, &g, 2), 0.0);
+        let mid = LossConfig::balanced(FairnessMetric::DemographicParity);
+        assert!((mid.evaluate(&y, &z, &g, 2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l_hat_matches_example_3_4() {
+        // Paper Example 3.4, cluster C1 with m3: inaccuracy 1/3, bias 0,
+        // λ = 0.5 → L̂ = 1/6.
+        assert!((l_hat(0.5, 1.0 / 3.0, 0.0) - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn invalid_lambda_panics() {
+        l_hat(1.5, 0.0, 0.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Pareto-front membership and L̂-based ranking — the two summary views the
+//! paper's Tab. 5 reports for every (dataset, metric, dimension)
+//! configuration.
+
+use crate::loss::l_hat;
+use serde::{Deserialize, Serialize};
+
+/// One algorithm's quality in a single experiment configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QualityPoint {
+    /// Algorithm name.
+    pub name: String,
+    /// Accuracy in `[0, 1]` (higher is better).
+    pub accuracy: f64,
+    /// Bias in `[0, 1]` (lower is better).
+    pub bias: f64,
+}
+
+impl QualityPoint {
+    /// `true` if `self` dominates `other`: at least as good in both
+    /// dimensions and strictly better in one.
+    pub fn dominates(&self, other: &Self) -> bool {
+        (self.accuracy >= other.accuracy && self.bias <= other.bias)
+            && (self.accuracy > other.accuracy || self.bias < other.bias)
+    }
+}
+
+/// Indices of the Pareto-optimal (non-dominated) points. Ties (exact
+/// duplicates) are all kept — an algorithm matching a front member is also
+/// on the front, which is how the paper can report several algorithms as
+/// Pareto-optimal simultaneously.
+pub fn pareto_front(points: &[QualityPoint]) -> Vec<usize> {
+    (0..points.len())
+        .filter(|&i| !points.iter().enumerate().any(|(j, p)| j != i && p.dominates(&points[i])))
+        .collect()
+}
+
+/// Indices sorted ascending by `L̂ = λ·(1−accuracy) + (1−λ)·bias`
+/// (best first). Stable for equal losses (keeps input order).
+pub fn rank_by_l_hat(points: &[QualityPoint], lambda: f64) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..points.len()).collect();
+    idx.sort_by(|&a, &b| {
+        let la = l_hat(lambda, 1.0 - points[a].accuracy, points[a].bias);
+        let lb = l_hat(lambda, 1.0 - points[b].accuracy, points[b].bias);
+        la.partial_cmp(&lb).expect("losses are finite")
+    });
+    idx
+}
+
+/// `true` if point `i` ranks within the best `k` by L̂ (λ = 0.5, the
+/// paper's top-3 criterion uses k = 3). Ties at the boundary are resolved
+/// by input order, matching [`rank_by_l_hat`].
+pub fn in_top_k(points: &[QualityPoint], i: usize, k: usize, lambda: f64) -> bool {
+    rank_by_l_hat(points, lambda).iter().take(k).any(|&j| j == i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(name: &str, accuracy: f64, bias: f64) -> QualityPoint {
+        QualityPoint { name: name.into(), accuracy, bias }
+    }
+
+    #[test]
+    fn dominance_is_strict_somewhere() {
+        let a = p("a", 0.9, 0.1);
+        let b = p("b", 0.8, 0.2);
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        let c = p("c", 0.9, 0.1);
+        assert!(!a.dominates(&c), "equal points do not dominate each other");
+    }
+
+    #[test]
+    fn front_excludes_dominated_points() {
+        let pts = vec![
+            p("best-acc", 0.95, 0.30),
+            p("best-fair", 0.70, 0.02),
+            p("balanced", 0.85, 0.10),
+            p("dominated", 0.80, 0.20), // beaten by "balanced"
+        ];
+        let front = pareto_front(&pts);
+        assert_eq!(front, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn duplicates_are_both_on_the_front() {
+        let pts = vec![p("x", 0.9, 0.1), p("y", 0.9, 0.1), p("z", 0.5, 0.5)];
+        let front = pareto_front(&pts);
+        assert_eq!(front, vec![0, 1]);
+    }
+
+    #[test]
+    fn ranking_orders_by_balanced_loss() {
+        let pts = vec![
+            p("a", 0.90, 0.30), // L̂ = 0.5·0.1 + 0.5·0.3 = 0.20
+            p("b", 0.80, 0.10), // L̂ = 0.15
+            p("c", 0.99, 0.50), // L̂ = 0.255
+        ];
+        assert_eq!(rank_by_l_hat(&pts, 0.5), vec![1, 0, 2]);
+        assert!(in_top_k(&pts, 1, 1, 0.5));
+        assert!(in_top_k(&pts, 0, 2, 0.5));
+        assert!(!in_top_k(&pts, 2, 2, 0.5));
+    }
+
+    #[test]
+    fn lambda_extremes_change_the_winner() {
+        let pts = vec![p("accurate", 0.99, 0.40), p("fair", 0.60, 0.01)];
+        assert_eq!(rank_by_l_hat(&pts, 1.0)[0], 0);
+        assert_eq!(rank_by_l_hat(&pts, 0.0)[0], 1);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(pareto_front(&[]).is_empty());
+        assert!(rank_by_l_hat(&[], 0.5).is_empty());
+    }
+}

@@ -1,0 +1,184 @@
+//! Gaussian naive Bayes.
+//!
+//! Another structurally different pool member for the "5 standard
+//! classifiers" configuration of the Decouple/FALCES baselines, and the
+//! model family behind Calders & Verwer's fair ensembles discussed in the
+//! paper's related work.
+
+use crate::traits::Classifier;
+use falcc_dataset::{AttrId, Dataset};
+
+/// A trained Gaussian naive Bayes model.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct GaussianNb {
+    attrs: Vec<AttrId>,
+    /// Per class (0/1), per feature: (mean, variance).
+    stats: [Vec<(f64, f64)>; 2],
+    /// Log prior per class.
+    log_prior: [f64; 2],
+    name: String,
+}
+
+impl GaussianNb {
+    /// Minimum variance floor to keep log-densities finite.
+    const VAR_FLOOR: f64 = 1e-9;
+
+    /// Fits the model on the rows of `ds` selected by `indices`, using the
+    /// attributes in `attrs`.
+    ///
+    /// # Panics
+    /// Panics on empty `indices` or `attrs`.
+    pub fn fit(ds: &Dataset, attrs: &[AttrId], indices: &[usize]) -> Self {
+        assert!(!indices.is_empty(), "cannot fit on zero samples");
+        assert!(!attrs.is_empty(), "cannot fit on zero features");
+        let d = attrs.len();
+        let mut sums = [vec![0.0f64; d], vec![0.0f64; d]];
+        let mut counts = [0usize; 2];
+        for &i in indices {
+            let c = ds.label(i) as usize;
+            counts[c] += 1;
+            for (j, &a) in attrs.iter().enumerate() {
+                sums[c][j] += ds.value(i, a);
+            }
+        }
+        let mut stats = [vec![(0.0, 1.0); d], vec![(0.0, 1.0); d]];
+        for c in 0..2 {
+            if counts[c] == 0 {
+                continue;
+            }
+            for j in 0..d {
+                stats[c][j].0 = sums[c][j] / counts[c] as f64;
+            }
+        }
+        let mut sq = [vec![0.0f64; d], vec![0.0f64; d]];
+        for &i in indices {
+            let c = ds.label(i) as usize;
+            for (j, &a) in attrs.iter().enumerate() {
+                let dlt = ds.value(i, a) - stats[c][j].0;
+                sq[c][j] += dlt * dlt;
+            }
+        }
+        for c in 0..2 {
+            if counts[c] == 0 {
+                continue;
+            }
+            for j in 0..d {
+                stats[c][j].1 = (sq[c][j] / counts[c] as f64).max(Self::VAR_FLOOR);
+            }
+        }
+        let n = indices.len() as f64;
+        // Laplace-smoothed priors so an absent class keeps a tiny prior
+        // instead of −∞.
+        let log_prior = [
+            ((counts[0] as f64 + 1.0) / (n + 2.0)).ln(),
+            ((counts[1] as f64 + 1.0) / (n + 2.0)).ln(),
+        ];
+        Self { attrs: attrs.to_vec(), stats, log_prior, name: "gauss_nb".to_string() }
+    }
+}
+
+impl Classifier for GaussianNb {
+    fn to_spec(&self) -> Option<crate::persist::ModelSpec> {
+        Some(crate::persist::ModelSpec::Bayes(self.clone()))
+    }
+
+    fn predict_proba_row(&self, row: &[f64]) -> f64 {
+        let mut log_like = self.log_prior;
+        for (j, &a) in self.attrs.iter().enumerate() {
+            let x = row[a];
+            for (c, ll) in log_like.iter_mut().enumerate() {
+                let (mean, var) = self.stats[c][j];
+                let dlt = x - mean;
+                *ll += -0.5 * ((2.0 * std::f64::consts::PI * var).ln() + dlt * dlt / var);
+            }
+        }
+        // Softmax over the two log-likelihoods.
+        let m = log_like[0].max(log_like[1]);
+        let e0 = (log_like[0] - m).exp();
+        let e1 = (log_like[1] - m).exp();
+        e1 / (e0 + e1)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use falcc_dataset::Schema;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    fn gaussian_blobs(n: usize, seed: u64) -> Dataset {
+        // Class 0 around (−2, −2), class 1 around (2, 2).
+        let schema = Schema::new(vec!["a".into(), "b".into()], vec![], "y").unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let c = i % 2;
+            let centre = if c == 0 { -2.0 } else { 2.0 };
+            rows.push(vec![
+                centre + rng.gen_range(-1.0..1.0),
+                centre + rng.gen_range(-1.0..1.0),
+            ]);
+            labels.push(c as u8);
+        }
+        Dataset::from_rows(schema, rows, labels).unwrap()
+    }
+
+    #[test]
+    fn separates_gaussian_blobs() {
+        let ds = gaussian_blobs(400, 1);
+        let idx: Vec<usize> = (0..ds.len()).collect();
+        let model = GaussianNb::fit(&ds, &[0, 1], &idx);
+        let acc = (0..ds.len())
+            .filter(|&i| model.predict_row(ds.row(i)) == ds.label(i))
+            .count() as f64
+            / ds.len() as f64;
+        assert!(acc > 0.98, "accuracy {acc}");
+    }
+
+    #[test]
+    fn probabilities_reflect_distance_to_class_means() {
+        let ds = gaussian_blobs(400, 2);
+        let idx: Vec<usize> = (0..ds.len()).collect();
+        let model = GaussianNb::fit(&ds, &[0, 1], &idx);
+        assert!(model.predict_proba_row(&[2.0, 2.0]) > 0.95);
+        assert!(model.predict_proba_row(&[-2.0, -2.0]) < 0.05);
+        let p_mid = model.predict_proba_row(&[0.0, 0.0]);
+        assert!((0.05..=0.95).contains(&p_mid), "midpoint proba {p_mid}");
+    }
+
+    #[test]
+    fn single_class_training_keeps_finite_output() {
+        let schema = Schema::new(vec!["a".into()], vec![], "y").unwrap();
+        let ds = Dataset::from_rows(
+            schema,
+            vec![vec![1.0], vec![2.0], vec![3.0]],
+            vec![1, 1, 1],
+        )
+        .unwrap();
+        let model = GaussianNb::fit(&ds, &[0], &[0, 1, 2]);
+        let p = model.predict_proba_row(&[2.0]);
+        assert!(p.is_finite());
+        assert!(p > 0.5, "all-positive training must lean positive: {p}");
+    }
+
+    #[test]
+    fn zero_variance_features_are_floored() {
+        let schema = Schema::new(vec!["a".into(), "b".into()], vec![], "y").unwrap();
+        let ds = Dataset::from_rows(
+            schema,
+            vec![vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 2.0], vec![1.0, 3.0]],
+            vec![0, 0, 1, 1],
+        )
+        .unwrap();
+        let model = GaussianNb::fit(&ds, &[0, 1], &[0, 1, 2, 3]);
+        let p = model.predict_proba_row(&[1.0, 3.0]);
+        assert!(p.is_finite() && p > 0.5);
+    }
+}

@@ -1,0 +1,126 @@
+//! A k-nearest-neighbour classifier backed by the kd-tree substrate.
+//!
+//! Rounds out the "5 standard classifiers" pool configuration; also handy
+//! as a maximally local baseline in tests.
+
+use crate::traits::Classifier;
+use falcc_clustering::KdTree;
+use falcc_dataset::dataset::ProjectedMatrix;
+use falcc_dataset::{AttrId, Dataset};
+
+/// A trained kNN classifier (stores its training data).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct KnnClassifier {
+    attrs: Vec<AttrId>,
+    tree: KdTree,
+    labels: Vec<u8>,
+    k: usize,
+    name: String,
+}
+
+impl KnnClassifier {
+    /// Builds the index over the rows of `ds` selected by `indices`, using
+    /// the attributes in `attrs`.
+    ///
+    /// # Panics
+    /// Panics on empty `indices`/`attrs` or `k == 0`.
+    pub fn fit(ds: &Dataset, attrs: &[AttrId], indices: &[usize], k: usize) -> Self {
+        assert!(!indices.is_empty(), "cannot fit on zero samples");
+        assert!(!attrs.is_empty(), "cannot fit on zero features");
+        assert!(k > 0, "k must be positive");
+        let mut data = Vec::with_capacity(indices.len() * attrs.len());
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            let row = ds.row(i);
+            data.extend(attrs.iter().map(|&a| row[a]));
+            labels.push(ds.label(i));
+        }
+        let matrix =
+            ProjectedMatrix { data, n_cols: attrs.len(), n_rows: indices.len() };
+        Self {
+            attrs: attrs.to_vec(),
+            tree: KdTree::build(matrix),
+            labels,
+            k,
+            name: format!("knn[k={k}]"),
+        }
+    }
+}
+
+impl Classifier for KnnClassifier {
+    fn to_spec(&self) -> Option<crate::persist::ModelSpec> {
+        Some(crate::persist::ModelSpec::Knn(self.clone()))
+    }
+
+    fn predict_proba_row(&self, row: &[f64]) -> f64 {
+        let query: Vec<f64> = self.attrs.iter().map(|&a| row[a]).collect();
+        let neighbors = self.tree.nearest(&query, self.k);
+        if neighbors.is_empty() {
+            return 0.5;
+        }
+        let pos = neighbors
+            .iter()
+            .filter(|&&(i, _)| self.labels[i] == 1)
+            .count();
+        pos as f64 / neighbors.len() as f64
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use falcc_dataset::Schema;
+
+    fn line_dataset() -> Dataset {
+        let schema = Schema::new(vec!["x".into()], vec![], "y").unwrap();
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let labels: Vec<u8> = (0..20).map(|i| u8::from(i >= 10)).collect();
+        Dataset::from_rows(schema, rows, labels).unwrap()
+    }
+
+    #[test]
+    fn predicts_by_neighbourhood_majority() {
+        let ds = line_dataset();
+        let idx: Vec<usize> = (0..20).collect();
+        let model = KnnClassifier::fit(&ds, &[0], &idx, 3);
+        assert_eq!(model.predict_row(&[1.0]), 0);
+        assert_eq!(model.predict_row(&[18.0]), 1);
+        // Right at the boundary the three neighbours are 9, 10, 11 (labels
+        // 0, 1, 1) → positive.
+        assert_eq!(model.predict_row(&[10.2]), 1);
+    }
+
+    #[test]
+    fn proba_is_a_neighbour_fraction() {
+        let ds = line_dataset();
+        let idx: Vec<usize> = (0..20).collect();
+        let model = KnnClassifier::fit(&ds, &[0], &idx, 4);
+        let p = model.predict_proba_row(&[9.6]);
+        // Neighbours of 9.6: 9, 10, 8, 11 → 2 positive of 4.
+        assert!((p - 0.5).abs() < 1e-12, "p = {p}");
+    }
+
+    #[test]
+    fn attribute_selection_applies_to_queries() {
+        // Model trained on attr 1 only; attr 0 must be ignored.
+        let schema = Schema::new(vec!["junk".into(), "x".into()], vec![], "y").unwrap();
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![999.0, i as f64]).collect();
+        let labels: Vec<u8> = (0..10).map(|i| u8::from(i >= 5)).collect();
+        let ds = Dataset::from_rows(schema, rows, labels).unwrap();
+        let model = KnnClassifier::fit(&ds, &[1], &(0..10).collect::<Vec<_>>(), 3);
+        assert_eq!(model.predict_row(&[-12345.0, 8.0]), 1);
+        assert_eq!(model.predict_row(&[12345.0, 1.0]), 0);
+    }
+
+    #[test]
+    fn k_larger_than_training_set_is_graceful() {
+        let ds = line_dataset();
+        let model = KnnClassifier::fit(&ds, &[0], &[0, 1, 19], 50);
+        let p = model.predict_proba_row(&[0.0]);
+        assert!((p - 1.0 / 3.0).abs() < 1e-12, "p = {p}");
+    }
+}

@@ -1,0 +1,222 @@
+//! Logistic regression via full-batch gradient descent with L2 shrinkage.
+//!
+//! Used as a structurally different pool member (the Decouple and FALCES
+//! baselines train "5 standard classifiers") and as the label head inside
+//! the LFR/iFair representation learners.
+
+use crate::traits::Classifier;
+use falcc_dataset::{AttrId, Dataset};
+
+/// Logistic-regression hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LogisticParams {
+    /// Gradient-descent epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f64,
+    /// L2 regularisation strength.
+    pub l2: f64,
+}
+
+impl Default for LogisticParams {
+    fn default() -> Self {
+        Self { epochs: 300, lr: 0.5, l2: 1e-4 }
+    }
+}
+
+/// A trained logistic-regression model. Features are standardised
+/// internally (z-scores of the training distribution).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct LogisticRegression {
+    attrs: Vec<AttrId>,
+    weights: Vec<f64>,
+    bias: f64,
+    means: Vec<f64>,
+    stds: Vec<f64>,
+    name: String,
+}
+
+impl LogisticRegression {
+    /// Fits the model on the rows of `ds` selected by `indices`, using the
+    /// attributes in `attrs`.
+    ///
+    /// # Panics
+    /// Panics on empty `indices` or `attrs`.
+    pub fn fit(
+        ds: &Dataset,
+        attrs: &[AttrId],
+        indices: &[usize],
+        params: &LogisticParams,
+    ) -> Self {
+        assert!(!indices.is_empty(), "cannot fit on zero samples");
+        assert!(!attrs.is_empty(), "cannot fit on zero features");
+        let n = indices.len();
+        let d = attrs.len();
+
+        // Standardisation statistics.
+        let mut means = vec![0.0; d];
+        let mut stds = vec![0.0; d];
+        for &i in indices {
+            for (j, &a) in attrs.iter().enumerate() {
+                means[j] += ds.value(i, a);
+            }
+        }
+        for m in means.iter_mut() {
+            *m /= n as f64;
+        }
+        for &i in indices {
+            for (j, &a) in attrs.iter().enumerate() {
+                let dlt = ds.value(i, a) - means[j];
+                stds[j] += dlt * dlt;
+            }
+        }
+        for s in stds.iter_mut() {
+            *s = (*s / n as f64).sqrt();
+            if *s < 1e-9 {
+                *s = 1.0; // constant feature: neutralised by zero z-score
+            }
+        }
+
+        // Standardised design matrix (cached once).
+        let mut x = vec![0.0f64; n * d];
+        for (r, &i) in indices.iter().enumerate() {
+            for (j, &a) in attrs.iter().enumerate() {
+                x[r * d + j] = (ds.value(i, a) - means[j]) / stds[j];
+            }
+        }
+        let y: Vec<f64> = indices.iter().map(|&i| ds.label(i) as f64).collect();
+
+        let mut weights = vec![0.0f64; d];
+        let mut bias = 0.0f64;
+        for _ in 0..params.epochs {
+            let mut grad_w = vec![0.0f64; d];
+            let mut grad_b = 0.0f64;
+            for r in 0..n {
+                let row = &x[r * d..(r + 1) * d];
+                let z: f64 =
+                    row.iter().zip(&weights).map(|(xi, wi)| xi * wi).sum::<f64>() + bias;
+                let p = sigmoid(z);
+                let err = p - y[r];
+                for j in 0..d {
+                    grad_w[j] += err * row[j];
+                }
+                grad_b += err;
+            }
+            let inv_n = 1.0 / n as f64;
+            for j in 0..d {
+                weights[j] -= params.lr * (grad_w[j] * inv_n + params.l2 * weights[j]);
+            }
+            bias -= params.lr * grad_b * inv_n;
+        }
+
+        Self {
+            attrs: attrs.to_vec(),
+            weights,
+            bias,
+            means,
+            stds,
+            name: "logreg".to_string(),
+        }
+    }
+
+    /// The fitted coefficients in standardised space (diagnostics).
+    pub fn coefficients(&self) -> (&[f64], f64) {
+        (&self.weights, self.bias)
+    }
+}
+
+#[inline]
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+impl Classifier for LogisticRegression {
+    fn to_spec(&self) -> Option<crate::persist::ModelSpec> {
+        Some(crate::persist::ModelSpec::Logistic(self.clone()))
+    }
+
+    fn predict_proba_row(&self, row: &[f64]) -> f64 {
+        let z: f64 = self
+            .attrs
+            .iter()
+            .enumerate()
+            .map(|(j, &a)| (row[a] - self.means[j]) / self.stds[j] * self.weights[j])
+            .sum::<f64>()
+            + self.bias;
+        sigmoid(z)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use falcc_dataset::Schema;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    fn linear_dataset(n: usize, seed: u64) -> Dataset {
+        let schema = Schema::new(vec!["a".into(), "b".into()], vec![], "y").unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.gen_range(-3.0..3.0), rng.gen_range(-3.0..3.0)])
+            .collect();
+        let labels: Vec<u8> =
+            rows.iter().map(|r| u8::from(2.0 * r[0] - r[1] + 0.3 > 0.0)).collect();
+        Dataset::from_rows(schema, rows, labels).unwrap()
+    }
+
+    #[test]
+    fn learns_a_linear_boundary() {
+        let ds = linear_dataset(500, 1);
+        let idx: Vec<usize> = (0..ds.len()).collect();
+        let model = LogisticRegression::fit(&ds, &[0, 1], &idx, &LogisticParams::default());
+        let acc = (0..ds.len())
+            .filter(|&i| model.predict_row(ds.row(i)) == ds.label(i))
+            .count() as f64
+            / ds.len() as f64;
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn probabilities_are_calibrated_directionally() {
+        let ds = linear_dataset(400, 2);
+        let idx: Vec<usize> = (0..ds.len()).collect();
+        let model = LogisticRegression::fit(&ds, &[0, 1], &idx, &LogisticParams::default());
+        // Deep positive region vs deep negative region.
+        assert!(model.predict_proba_row(&[3.0, -3.0]) > 0.9);
+        assert!(model.predict_proba_row(&[-3.0, 3.0]) < 0.1);
+    }
+
+    #[test]
+    fn constant_features_do_not_blow_up() {
+        let schema = Schema::new(vec!["c".into(), "f".into()], vec![], "y").unwrap();
+        let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![5.0, i as f64]).collect();
+        let labels: Vec<u8> = (0..40).map(|i| u8::from(i >= 20)).collect();
+        let ds = Dataset::from_rows(schema, rows, labels).unwrap();
+        let idx: Vec<usize> = (0..40).collect();
+        let model = LogisticRegression::fit(&ds, &[0, 1], &idx, &LogisticParams::default());
+        let p = model.predict_proba_row(&[5.0, 30.0]);
+        assert!(p.is_finite() && p > 0.5);
+    }
+
+    #[test]
+    fn attribute_selection_ignores_other_columns() {
+        let ds = linear_dataset(300, 3);
+        let idx: Vec<usize> = (0..ds.len()).collect();
+        // Train on feature 0 only; feature 1 must not influence prediction.
+        let model = LogisticRegression::fit(
+            &ds,
+            &[0],
+            &idx,
+            &LogisticParams::default(),
+        );
+        let p1 = model.predict_proba_row(&[1.0, -100.0]);
+        let p2 = model.predict_proba_row(&[1.0, 100.0]);
+        assert!((p1 - p2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,437 @@
+//! Trained model pools and model-combination enumeration.
+//!
+//! Diverse model training (paper §3.3) produces the set `M` of candidate
+//! models and the candidate combinations `MC_cand`: every assignment of one
+//! model per sensitive group such that the model was trained on data
+//! comprising that group. Models trained on the whole dataset apply to all
+//! groups; models trained on a single group's partition apply to that group
+//! only (the "SBT"/split configuration of the FALCES papers).
+//!
+//! Diversity selection is greedy on the non-pairwise entropy of the pool's
+//! predictions over an evaluation dataset, mirroring the paper's grid
+//! search for a maximally diverse ensemble.
+
+use crate::bayes::GaussianNb;
+use crate::grid::{paper_grid, TrainerKind};
+use crate::knn_model::KnnClassifier;
+use crate::linear::{LogisticParams, LogisticRegression};
+use crate::traits::{predict_dataset, Classifier};
+use crate::tree::{DecisionTree, TreeParams};
+use falcc_dataset::{Dataset, GroupId};
+use falcc_metrics::shannon_entropy_diversity;
+use std::sync::Arc;
+
+/// A pool member: a trained model plus its applicability.
+#[derive(Clone)]
+pub struct TrainedModel {
+    /// The classifier.
+    pub model: Arc<dyn Classifier>,
+    /// `None` → applicable to every group (trained on the full data);
+    /// `Some(g)` → applicable only to group `g`.
+    pub group: Option<GroupId>,
+}
+
+impl std::fmt::Debug for TrainedModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrainedModel")
+            .field("name", &self.model.name())
+            .field("group", &self.group)
+            .finish()
+    }
+}
+
+/// Configuration of diverse model training.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolConfig {
+    /// Trainer family (the paper defaults to AdaBoost).
+    pub trainer: TrainerKind,
+    /// Keep the `pool_size` most diversity-contributing models of the grid
+    /// (0 keeps the whole grid).
+    pub pool_size: usize,
+    /// Also train one grid-best model per sensitive group on that group's
+    /// partition (split training).
+    pub split_by_group: bool,
+    /// Candidates whose validation accuracy trails the best candidate by
+    /// more than this margin are excluded *before* diversity selection.
+    /// The default of 1.0 disables the floor — the paper selects purely by
+    /// non-pairwise entropy; tighten this when the grid contains members
+    /// too weak for the task (see the pool-size ablation).
+    pub accuracy_margin: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        Self {
+            trainer: TrainerKind::AdaBoost,
+            pool_size: 5,
+            split_by_group: false,
+            accuracy_margin: 1.0,
+            seed: 0,
+        }
+    }
+}
+
+/// A set of trained models ready for combination enumeration.
+#[derive(Debug, Clone, Default)]
+pub struct ModelPool {
+    /// The pool members.
+    pub models: Vec<TrainedModel>,
+}
+
+impl ModelPool {
+    /// Wraps externally trained models (e.g. the fair classifiers of the
+    /// `FALCC*` / `Decouple*` configurations).
+    pub fn from_models(models: Vec<TrainedModel>) -> Self {
+        Self { models }
+    }
+
+    /// Diverse model training: fits the paper's hyperparameter grid on
+    /// `train`, then greedily keeps the subset of `cfg.pool_size` models
+    /// whose joint predictions on `diversity_eval` have maximal
+    /// non-pairwise entropy. With `split_by_group`, additionally trains one
+    /// default-parameter model per group partition.
+    ///
+    /// # Panics
+    /// Panics if `train` is empty (propagated from the trainers).
+    pub fn train_diverse(train: &Dataset, diversity_eval: &Dataset, cfg: &PoolConfig) -> Self {
+        let attrs: Vec<usize> = (0..train.n_attrs()).collect();
+        let all_idx: Vec<usize> = (0..train.len()).collect();
+        let grid = paper_grid(cfg.trainer);
+        let candidates: Vec<Arc<dyn Classifier>> = grid
+            .iter()
+            .enumerate()
+            .map(|(i, p)| p.fit(train, &attrs, &all_idx, cfg.seed ^ (i as u64) << 8))
+            .collect();
+
+        let keep = if cfg.pool_size == 0 || cfg.pool_size >= candidates.len() {
+            (0..candidates.len()).collect()
+        } else {
+            let preds: Vec<Vec<u8>> = candidates
+                .iter()
+                .map(|m| predict_dataset(m.as_ref(), diversity_eval))
+                .collect();
+            // Accuracy floor: drop candidates far behind the best one.
+            let labels = diversity_eval.labels();
+            let accs: Vec<f64> = preds
+                .iter()
+                .map(|z| {
+                    z.iter().zip(labels).filter(|(a, b)| a == b).count() as f64
+                        / labels.len() as f64
+                })
+                .collect();
+            let best_acc = accs.iter().cloned().fold(0.0, f64::max);
+            let competitive: Vec<usize> = (0..candidates.len())
+                .filter(|&i| accs[i] >= best_acc - cfg.accuracy_margin)
+                .collect();
+            if competitive.len() <= cfg.pool_size {
+                competitive
+            } else {
+                let comp_preds: Vec<Vec<u8>> =
+                    competitive.iter().map(|&i| preds[i].clone()).collect();
+                greedy_diverse_subset(&comp_preds, cfg.pool_size)
+                    .into_iter()
+                    .map(|j| competitive[j])
+                    .collect()
+            }
+        };
+
+        let mut models: Vec<TrainedModel> = keep
+            .into_iter()
+            .map(|i| TrainedModel { model: candidates[i].clone(), group: None })
+            .collect();
+
+        if cfg.split_by_group {
+            for g in train.group_index().ids() {
+                let idx = train.indices_of_group(g);
+                if idx.len() < 4 {
+                    continue; // too small to train on
+                }
+                let point = grid[grid.len() - 1]; // strongest configuration
+                let model = point.fit(train, &attrs, &idx, cfg.seed ^ 0xbeef ^ g.0 as u64);
+                models.push(TrainedModel { model, group: Some(g) });
+            }
+        }
+        Self { models }
+    }
+
+    /// The "5 standard classifiers" pool used by the Decouple/FALCES
+    /// baselines' default configuration: CART, AdaBoost, logistic
+    /// regression, Gaussian naive Bayes, kNN — all trained on the whole
+    /// dataset.
+    pub fn standard_five(train: &Dataset, seed: u64) -> Self {
+        let attrs: Vec<usize> = (0..train.n_attrs()).collect();
+        let idx: Vec<usize> = (0..train.len()).collect();
+        let tree = TreeParams { max_depth: 7, ..Default::default() };
+        let models: Vec<TrainedModel> = vec![
+            TrainedModel {
+                model: Arc::new(DecisionTree::fit(train, &attrs, &idx, None, &tree, seed)),
+                group: None,
+            },
+            TrainedModel {
+                model: crate::grid::GridPoint {
+                    trainer: TrainerKind::AdaBoost,
+                    n_estimators: 20,
+                    max_depth: 1,
+                    criterion: crate::tree::SplitCriterion::Gini,
+                }
+                .fit(train, &attrs, &idx, seed ^ 1),
+                group: None,
+            },
+            TrainedModel {
+                model: Arc::new(LogisticRegression::fit(
+                    train,
+                    &attrs,
+                    &idx,
+                    &LogisticParams::default(),
+                )),
+                group: None,
+            },
+            TrainedModel {
+                model: Arc::new(GaussianNb::fit(train, &attrs, &idx)),
+                group: None,
+            },
+            TrainedModel {
+                model: Arc::new(KnnClassifier::fit(train, &attrs, &idx, 15)),
+                group: None,
+            },
+        ];
+        Self { models }
+    }
+
+    /// Number of models in the pool.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// `true` when the pool has no models.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// Pool-member indices applicable to group `g`.
+    pub fn applicable(&self, g: GroupId) -> Vec<usize> {
+        self.models
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.group.is_none() || m.group == Some(g))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Non-pairwise entropy of the pool's predictions on `eval`.
+    pub fn entropy_diversity(&self, eval: &Dataset) -> f64 {
+        let preds: Vec<Vec<u8>> = self
+            .models
+            .iter()
+            .map(|m| predict_dataset(m.model.as_ref(), eval))
+            .collect();
+        shannon_entropy_diversity(&preds)
+    }
+}
+
+/// Greedy forward selection maximising ensemble entropy: seeds with the
+/// pair of models with maximal pairwise disagreement, then adds whichever
+/// model lifts the subset entropy most.
+fn greedy_diverse_subset(preds: &[Vec<u8>], k: usize) -> Vec<usize> {
+    let n_models = preds.len();
+    if k >= n_models {
+        return (0..n_models).collect();
+    }
+    // Seed pair: maximal disagreement.
+    let mut best_pair = (0, 1, f64::MIN);
+    for i in 0..n_models {
+        for j in i + 1..n_models {
+            let disagree = preds[i]
+                .iter()
+                .zip(&preds[j])
+                .filter(|(a, b)| a != b)
+                .count() as f64;
+            if disagree > best_pair.2 {
+                best_pair = (i, j, disagree);
+            }
+        }
+    }
+    let mut selected = vec![best_pair.0, best_pair.1];
+    while selected.len() < k {
+        let mut best = (usize::MAX, f64::MIN);
+        for cand in 0..n_models {
+            if selected.contains(&cand) {
+                continue;
+            }
+            let mut subset: Vec<Vec<u8>> =
+                selected.iter().map(|&i| preds[i].clone()).collect();
+            subset.push(preds[cand].clone());
+            let e = shannon_entropy_diversity(&subset);
+            if e > best.1 {
+                best = (cand, e);
+            }
+        }
+        if best.0 == usize::MAX {
+            break;
+        }
+        selected.push(best.0);
+    }
+    selected.sort_unstable();
+    selected.truncate(k);
+    selected
+}
+
+/// Enumerates the candidate model combinations `MC_cand`: every assignment
+/// of one applicable pool index per group. Returned as vectors indexed by
+/// `GroupId`.
+///
+/// Returns an empty list if any group has no applicable model (the caller
+/// decides how to handle that — FALCC's gap filling prevents it).
+pub fn enumerate_combinations(pool: &ModelPool, n_groups: usize) -> Vec<Vec<usize>> {
+    let per_group: Vec<Vec<usize>> =
+        (0..n_groups).map(|g| pool.applicable(GroupId(g as u16))).collect();
+    if per_group.iter().any(|v| v.is_empty()) {
+        return Vec::new();
+    }
+    let total: usize = per_group.iter().map(|v| v.len()).product();
+    let mut combos = Vec::with_capacity(total);
+    let mut current = vec![0usize; n_groups];
+    fill(&per_group, 0, &mut current, &mut combos);
+    combos
+}
+
+fn fill(
+    per_group: &[Vec<usize>],
+    depth: usize,
+    current: &mut Vec<usize>,
+    out: &mut Vec<Vec<usize>>,
+) {
+    if depth == per_group.len() {
+        out.push(current.clone());
+        return;
+    }
+    for &m in &per_group[depth] {
+        current[depth] = m;
+        fill(per_group, depth + 1, current, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use falcc_dataset::synthetic::{generate, SyntheticConfig};
+    use falcc_dataset::{SplitRatios, ThreeWaySplit};
+
+    fn small_split() -> ThreeWaySplit {
+        let mut cfg = SyntheticConfig::social(0.3);
+        cfg.n = 600;
+        let ds = generate(&cfg, 1).unwrap();
+        ThreeWaySplit::split(&ds, SplitRatios::PAPER, 42).unwrap()
+    }
+
+    #[test]
+    fn diverse_training_produces_requested_pool_size() {
+        let split = small_split();
+        let cfg = PoolConfig { pool_size: 4, ..Default::default() };
+        let pool = ModelPool::train_diverse(&split.train, &split.validation, &cfg);
+        assert_eq!(pool.len(), 4);
+        assert!(pool.models.iter().all(|m| m.group.is_none()));
+    }
+
+    #[test]
+    fn pool_size_zero_keeps_whole_grid() {
+        let split = small_split();
+        let cfg = PoolConfig { pool_size: 0, ..Default::default() };
+        let pool = ModelPool::train_diverse(&split.train, &split.validation, &cfg);
+        assert_eq!(pool.len(), 8);
+    }
+
+    #[test]
+    fn diversity_selection_beats_arbitrary_prefix() {
+        // The greedy subset should be at least as diverse as the first k
+        // grid models.
+        let split = small_split();
+        let all = ModelPool::train_diverse(
+            &split.train,
+            &split.validation,
+            &PoolConfig { pool_size: 0, ..Default::default() },
+        );
+        // Margin 1.0 disables the accuracy floor, isolating the greedy
+        // entropy selection this test is about.
+        let selected = ModelPool::train_diverse(
+            &split.train,
+            &split.validation,
+            &PoolConfig { pool_size: 3, accuracy_margin: 1.0, ..Default::default() },
+        );
+        let prefix = ModelPool::from_models(all.models[..3].to_vec());
+        let e_selected = selected.entropy_diversity(&split.validation);
+        let e_prefix = prefix.entropy_diversity(&split.validation);
+        assert!(
+            e_selected >= e_prefix - 1e-9,
+            "greedy {e_selected} < prefix {e_prefix}"
+        );
+    }
+
+    #[test]
+    fn split_training_adds_group_specific_models() {
+        let split = small_split();
+        let cfg = PoolConfig { pool_size: 2, split_by_group: true, ..Default::default() };
+        let pool = ModelPool::train_diverse(&split.train, &split.validation, &cfg);
+        let group_models: Vec<_> =
+            pool.models.iter().filter(|m| m.group.is_some()).collect();
+        assert_eq!(group_models.len(), 2, "one per binary group");
+        // Applicability: group 0 sees global models + its own.
+        let app0 = pool.applicable(GroupId(0));
+        assert_eq!(app0.len(), 3);
+        let app1 = pool.applicable(GroupId(1));
+        assert_eq!(app1.len(), 3);
+        assert_ne!(app0, app1);
+    }
+
+    #[test]
+    fn standard_five_trains_five_distinct_families() {
+        let split = small_split();
+        let pool = ModelPool::standard_five(&split.train, 7);
+        assert_eq!(pool.len(), 5);
+        let names: std::collections::HashSet<&str> =
+            pool.models.iter().map(|m| m.model.name()).collect();
+        assert_eq!(names.len(), 5, "models should have distinct names: {names:?}");
+    }
+
+    #[test]
+    fn combination_enumeration_is_cartesian() {
+        let split = small_split();
+        let pool = ModelPool::train_diverse(
+            &split.train,
+            &split.validation,
+            &PoolConfig { pool_size: 3, ..Default::default() },
+        );
+        let combos = enumerate_combinations(&pool, 2);
+        assert_eq!(combos.len(), 9, "3 models × 2 groups → 9 combinations");
+        // Every combination is distinct.
+        let set: std::collections::HashSet<&Vec<usize>> = combos.iter().collect();
+        assert_eq!(set.len(), 9);
+    }
+
+    #[test]
+    fn combinations_respect_group_applicability() {
+        let split = small_split();
+        let cfg = PoolConfig { pool_size: 2, split_by_group: true, ..Default::default() };
+        let pool = ModelPool::train_diverse(&split.train, &split.validation, &cfg);
+        let combos = enumerate_combinations(&pool, 2);
+        // 3 applicable per group → 9 combos.
+        assert_eq!(combos.len(), 9);
+        for combo in &combos {
+            for (g, &m) in combo.iter().enumerate() {
+                let model = &pool.models[m];
+                assert!(
+                    model.group.is_none() || model.group == Some(GroupId(g as u16)),
+                    "model {m} not applicable to group {g}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_applicability_yields_no_combos() {
+        let pool = ModelPool::from_models(vec![]);
+        assert!(enumerate_combinations(&pool, 2).is_empty());
+    }
+}

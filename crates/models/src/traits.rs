@@ -1,0 +1,84 @@
+//! The [`Classifier`] trait shared by every model in the crate.
+
+use falcc_dataset::Dataset;
+
+/// A trained binary classifier.
+///
+/// Models receive the *full-width* dataset row (all attributes, including
+/// sensitive ones) and internally select the attributes they were trained
+/// on. This keeps call sites uniform: FALCC's online phase can hand any
+/// model the raw sample regardless of which feature subset or training
+/// partition produced it.
+pub trait Classifier: Send + Sync {
+    /// Probability estimate `P(y = 1 | row)` in `[0, 1]`.
+    fn predict_proba_row(&self, row: &[f64]) -> f64;
+
+    /// Hard prediction with the conventional 0.5 threshold.
+    fn predict_row(&self, row: &[f64]) -> u8 {
+        u8::from(self.predict_proba_row(row) >= 0.5)
+    }
+
+    /// Human-readable model identifier (e.g. `"adaboost[T=20,d=7,gini]"`).
+    fn name(&self) -> &str;
+
+    /// A serialisable snapshot of this model, when supported. Built-in
+    /// models return `Some`; custom implementations may return `None`, in
+    /// which case pools containing them cannot be persisted.
+    fn to_spec(&self) -> Option<crate::persist::ModelSpec> {
+        None
+    }
+}
+
+/// Hard predictions for every row of a dataset.
+pub fn predict_dataset(model: &dyn Classifier, ds: &Dataset) -> Vec<u8> {
+    (0..ds.len()).map(|i| model.predict_row(ds.row(i))).collect()
+}
+
+/// Probability estimates for every row of a dataset.
+pub fn predict_proba_dataset(model: &dyn Classifier, ds: &Dataset) -> Vec<f64> {
+    (0..ds.len()).map(|i| model.predict_proba_row(ds.row(i))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use falcc_dataset::Schema;
+
+    /// Trivial stub: predicts 1 iff attribute 1 is positive.
+    struct Stub;
+    impl Classifier for Stub {
+        fn predict_proba_row(&self, row: &[f64]) -> f64 {
+            if row[1] > 0.0 {
+                0.9
+            } else {
+                0.2
+            }
+        }
+        fn name(&self) -> &str {
+            "stub"
+        }
+    }
+
+    #[test]
+    fn default_threshold_is_half() {
+        let s = Stub;
+        assert_eq!(s.predict_row(&[0.0, 1.0]), 1);
+        assert_eq!(s.predict_row(&[0.0, -1.0]), 0);
+    }
+
+    #[test]
+    fn dataset_helpers_map_over_rows() {
+        let schema =
+            Schema::with_binary_sensitive(vec!["s".into(), "f".into()], 0, "y").unwrap();
+        let ds = Dataset::from_rows(
+            schema,
+            vec![vec![0.0, 1.0], vec![1.0, -2.0], vec![0.0, 3.0]],
+            vec![1, 0, 1],
+        )
+        .unwrap();
+        let s = Stub;
+        assert_eq!(predict_dataset(&s, &ds), vec![1, 0, 1]);
+        let probs = predict_proba_dataset(&s, &ds);
+        assert_eq!(probs, vec![0.9, 0.2, 0.9]);
+    }
+}

@@ -1,0 +1,478 @@
+//! CART decision trees with per-sample weights.
+//!
+//! This is the base estimator of both AdaBoost (which needs weighted
+//! training) and the random forest (which needs per-node feature
+//! subsampling), mirroring scikit-learn's `DecisionTreeClassifier` in the
+//! parameters the paper's grid search varies: maximum depth and the
+//! splitting criterion (gini or entropy).
+
+use crate::traits::Classifier;
+use falcc_dataset::{AttrId, Dataset};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Split impurity criterion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum SplitCriterion {
+    /// Gini impurity `2·p·(1−p)`.
+    Gini,
+    /// Shannon entropy `−p·ln p − (1−p)·ln(1−p)`.
+    Entropy,
+}
+
+impl SplitCriterion {
+    #[inline]
+    fn impurity(self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 1.0);
+        match self {
+            Self::Gini => 2.0 * p * (1.0 - p),
+            Self::Entropy => {
+                if p <= 0.0 || p >= 1.0 {
+                    0.0
+                } else {
+                    -(p * p.ln() + (1.0 - p) * (1.0 - p).ln())
+                }
+            }
+        }
+    }
+
+    /// Short name used in model identifiers.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Self::Gini => "gini",
+            Self::Entropy => "entropy",
+        }
+    }
+}
+
+/// Decision-tree hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeParams {
+    /// Maximum tree depth (root = depth 0); a depth-1 tree is a stump.
+    pub max_depth: usize,
+    /// Minimum number of samples in each leaf.
+    pub min_samples_leaf: usize,
+    /// Split criterion.
+    pub criterion: SplitCriterion,
+    /// When set, each node considers only a random subset of this many
+    /// candidate features (random-forest style).
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        Self {
+            max_depth: 7,
+            min_samples_leaf: 1,
+            criterion: SplitCriterion::Gini,
+            max_features: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+enum Node {
+    Leaf { proba: f64 },
+    Split { attr: AttrId, threshold: f64, left: u32, right: u32 },
+}
+
+/// A trained CART decision tree.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    name: String,
+}
+
+impl DecisionTree {
+    /// Fits a tree on the rows of `ds` selected by `indices`, using only
+    /// the attributes in `attrs`. `weights`, when given, is parallel to
+    /// `indices`.
+    ///
+    /// # Panics
+    /// Panics if `indices` is empty, `attrs` is empty, or `weights` has the
+    /// wrong length.
+    pub fn fit(
+        ds: &Dataset,
+        attrs: &[AttrId],
+        indices: &[usize],
+        weights: Option<&[f64]>,
+        params: &TreeParams,
+        seed: u64,
+    ) -> Self {
+        assert!(!indices.is_empty(), "cannot fit a tree on zero samples");
+        assert!(!attrs.is_empty(), "cannot fit a tree on zero features");
+        if let Some(w) = weights {
+            assert_eq!(w.len(), indices.len(), "one weight per training sample");
+        }
+        let owned_weights: Vec<f64> = match weights {
+            Some(w) => w.to_vec(),
+            None => vec![1.0; indices.len()],
+        };
+        let mut builder = Builder {
+            ds,
+            attrs,
+            params,
+            rng: StdRng::seed_from_u64(seed ^ 0xa076_1d64_78bd_642f),
+            nodes: Vec::new(),
+        };
+        // Working set: (dataset row index, weight).
+        let mut items: Vec<(usize, f64)> =
+            indices.iter().copied().zip(owned_weights).collect();
+        builder.build(&mut items, 0);
+        Self {
+            nodes: builder.nodes,
+            name: format!(
+                "cart[d={},{}]",
+                params.max_depth,
+                params.criterion.short_name()
+            ),
+        }
+    }
+
+    /// Number of nodes (diagnostics).
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Depth of the tree (diagnostics; 0 = single leaf).
+    pub fn depth(&self) -> usize {
+        fn depth_of(nodes: &[Node], at: usize) -> usize {
+            match &nodes[at] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => {
+                    1 + depth_of(nodes, *left as usize).max(depth_of(nodes, *right as usize))
+                }
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            depth_of(&self.nodes, self.nodes.len() - 1)
+        }
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn to_spec(&self) -> Option<crate::persist::ModelSpec> {
+        Some(crate::persist::ModelSpec::Tree(self.clone()))
+    }
+
+    fn predict_proba_row(&self, row: &[f64]) -> f64 {
+        let mut at = self.nodes.len() - 1; // root is the last-built node
+        loop {
+            match &self.nodes[at] {
+                Node::Leaf { proba } => return *proba,
+                Node::Split { attr, threshold, left, right } => {
+                    at = if row[*attr] <= *threshold { *left as usize } else { *right as usize };
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+struct Builder<'a> {
+    ds: &'a Dataset,
+    attrs: &'a [AttrId],
+    params: &'a TreeParams,
+    rng: StdRng,
+    nodes: Vec<Node>,
+}
+
+impl Builder<'_> {
+    /// Builds the subtree over `items`, returning its node id. Children are
+    /// pushed before parents, so the subtree root is always the last node.
+    fn build(&mut self, items: &mut [(usize, f64)], depth: usize) -> u32 {
+        let total_w: f64 = items.iter().map(|&(_, w)| w).sum();
+        let pos_w: f64 =
+            items.iter().filter(|&&(i, _)| self.ds.label(i) == 1).map(|&(_, w)| w).sum();
+        let p = if total_w > 0.0 { pos_w / total_w } else { 0.5 };
+
+        let stop = depth >= self.params.max_depth
+            || items.len() < 2 * self.params.min_samples_leaf
+            || p <= 0.0
+            || p >= 1.0
+            || total_w <= 0.0;
+        if stop {
+            self.nodes.push(Node::Leaf { proba: p });
+            return (self.nodes.len() - 1) as u32;
+        }
+
+        let candidates = self.candidate_features();
+        let parent_imp = self.params.criterion.impurity(p);
+        let mut best: Option<(AttrId, f64, f64)> = None; // (attr, threshold, gain)
+
+        for &attr in &candidates {
+            // Sort items by this attribute's value.
+            let mut sorted: Vec<(f64, f64, bool)> = items
+                .iter()
+                .map(|&(i, w)| (self.ds.value(i, attr), w, self.ds.label(i) == 1))
+                .collect();
+            sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
+            let mut left_w = 0.0;
+            let mut left_pos = 0.0;
+            for cut in 1..sorted.len() {
+                let (v_prev, w_prev, y_prev) = sorted[cut - 1];
+                left_w += w_prev;
+                left_pos += if y_prev { w_prev } else { 0.0 };
+                let v_here = sorted[cut].0;
+                if v_here <= v_prev {
+                    continue; // no boundary between equal values
+                }
+                if cut < self.params.min_samples_leaf
+                    || sorted.len() - cut < self.params.min_samples_leaf
+                {
+                    continue;
+                }
+                let right_w = total_w - left_w;
+                if left_w <= 0.0 || right_w <= 0.0 {
+                    continue;
+                }
+                let right_pos = pos_w - left_pos;
+                let imp_l = self.params.criterion.impurity(left_pos / left_w);
+                let imp_r = self.params.criterion.impurity(right_pos / right_w);
+                let gain =
+                    parent_imp - (left_w * imp_l + right_w * imp_r) / total_w;
+                // Accept the best split even at zero gain (scikit-learn
+                // semantics): XOR-like concepts have zero first-level gain
+                // and are only separable if we split anyway.
+                if gain > best.map_or(f64::NEG_INFINITY, |(_, _, g)| g) {
+                    best = Some((attr, 0.5 * (v_prev + v_here), gain));
+                }
+            }
+        }
+
+        let Some((attr, threshold, _)) = best else {
+            self.nodes.push(Node::Leaf { proba: p });
+            return (self.nodes.len() - 1) as u32;
+        };
+
+        // Partition in place around the threshold.
+        let split_at = partition(items, |&(i, _)| self.ds.value(i, attr) <= threshold);
+        // A degenerate partition can only happen through floating-point
+        // pathologies; guard by emitting a leaf.
+        if split_at == 0 || split_at == items.len() {
+            self.nodes.push(Node::Leaf { proba: p });
+            return (self.nodes.len() - 1) as u32;
+        }
+        let (left_items, right_items) = items.split_at_mut(split_at);
+        let left = self.build(left_items, depth + 1);
+        let right = self.build(right_items, depth + 1);
+        self.nodes.push(Node::Split { attr, threshold, left, right });
+        (self.nodes.len() - 1) as u32
+    }
+
+    fn candidate_features(&mut self) -> Vec<AttrId> {
+        match self.params.max_features {
+            Some(m) if m < self.attrs.len() => {
+                let mut pool: Vec<AttrId> = self.attrs.to_vec();
+                pool.shuffle(&mut self.rng);
+                pool.truncate(m.max(1));
+                pool
+            }
+            _ => self.attrs.to_vec(),
+        }
+    }
+}
+
+/// Stable partition: moves items satisfying `pred` to the front, returns
+/// the boundary.
+fn partition<T: Copy>(items: &mut [T], mut pred: impl FnMut(&T) -> bool) -> usize {
+    let mut store = 0;
+    for i in 0..items.len() {
+        if pred(&items[i]) {
+            items.swap(store, i);
+            store += 1;
+        }
+    }
+    store
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use falcc_dataset::Schema;
+
+    fn xor_dataset() -> Dataset {
+        // Label = a XOR b: needs depth ≥ 2.
+        let schema = Schema::new(
+            vec!["a".into(), "b".into()],
+            vec![],
+            "y",
+        )
+        .unwrap();
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..10 {
+            for (a, b) in [(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
+                rows.push(vec![a, b]);
+                labels.push(u8::from((a as u8) ^ (b as u8) == 1));
+            }
+        }
+        Dataset::from_rows(schema, rows, labels).unwrap()
+    }
+
+    fn all_indices(ds: &Dataset) -> Vec<usize> {
+        (0..ds.len()).collect()
+    }
+
+    #[test]
+    fn learns_xor_with_sufficient_depth() {
+        let ds = xor_dataset();
+        let idx = all_indices(&ds);
+        let params = TreeParams { max_depth: 3, ..Default::default() };
+        let tree = DecisionTree::fit(&ds, &[0, 1], &idx, None, &params, 0);
+        for i in 0..ds.len() {
+            assert_eq!(tree.predict_row(ds.row(i)), ds.label(i));
+        }
+    }
+
+    #[test]
+    fn stump_cannot_learn_xor() {
+        let ds = xor_dataset();
+        let idx = all_indices(&ds);
+        let params = TreeParams { max_depth: 1, ..Default::default() };
+        let tree = DecisionTree::fit(&ds, &[0, 1], &idx, None, &params, 0);
+        let correct = (0..ds.len())
+            .filter(|&i| tree.predict_row(ds.row(i)) == ds.label(i))
+            .count();
+        // XOR is impossible for a single split: at best 50%... actually up
+        // to 75% with an unbalanced leaf rule is impossible here; exactly
+        // 50% for balanced XOR data.
+        assert!(correct <= ds.len() / 2, "stump got {correct}/{}", ds.len());
+        assert!(tree.depth() <= 1);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let ds = xor_dataset();
+        let idx = all_indices(&ds);
+        for d in 0..4 {
+            let params = TreeParams { max_depth: d, ..Default::default() };
+            let tree = DecisionTree::fit(&ds, &[0, 1], &idx, None, &params, 0);
+            assert!(tree.depth() <= d, "depth {} exceeds {d}", tree.depth());
+        }
+    }
+
+    #[test]
+    fn weights_steer_the_split() {
+        // One feature; labels disagree with the feature on a minority of
+        // rows. With huge weights on the minority, the tree must flip.
+        let schema = Schema::new(vec!["f".into()], vec![], "y").unwrap();
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        // Majority rule: f >= 5 → 1. Minority (rows 0,1): also labeled 1.
+        let labels = vec![1, 1, 0, 0, 0, 1, 1, 1, 1, 1];
+        let ds = Dataset::from_rows(schema, rows, labels).unwrap();
+        let idx = all_indices(&ds);
+        let params = TreeParams { max_depth: 1, ..Default::default() };
+
+        let unweighted = DecisionTree::fit(&ds, &[0], &idx, None, &params, 0);
+        // Unweighted stump splits around f=4.5 and predicts 0 for row 0.
+        assert_eq!(unweighted.predict_row(&[0.0]), 0);
+
+        let mut w = vec![1.0; 10];
+        w[0] = 100.0;
+        w[1] = 100.0;
+        let weighted = DecisionTree::fit(&ds, &[0], &idx, Some(&w), &params, 0);
+        // With rows 0/1 dominating, the left side must predict 1.
+        assert_eq!(weighted.predict_row(&[0.0]), 1);
+    }
+
+    #[test]
+    fn pure_node_is_a_leaf() {
+        let schema = Schema::new(vec!["f".into()], vec![], "y").unwrap();
+        let ds = Dataset::from_rows(
+            schema,
+            vec![vec![1.0], vec![2.0], vec![3.0]],
+            vec![1, 1, 1],
+        )
+        .unwrap();
+        let tree =
+            DecisionTree::fit(&ds, &[0], &[0, 1, 2], None, &TreeParams::default(), 0);
+        assert_eq!(tree.n_nodes(), 1);
+        assert!((tree.predict_proba_row(&[9.9]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_features_yield_leaf() {
+        let schema = Schema::new(vec!["f".into()], vec![], "y").unwrap();
+        let ds = Dataset::from_rows(
+            schema,
+            vec![vec![5.0], vec![5.0], vec![5.0], vec![5.0]],
+            vec![1, 0, 1, 0],
+        )
+        .unwrap();
+        let tree =
+            DecisionTree::fit(&ds, &[0], &[0, 1, 2, 3], None, &TreeParams::default(), 0);
+        assert_eq!(tree.n_nodes(), 1);
+        assert!((tree.predict_proba_row(&[5.0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_samples_leaf_is_enforced() {
+        let schema = Schema::new(vec!["f".into()], vec![], "y").unwrap();
+        let rows: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64]).collect();
+        let labels = vec![1, 0, 0, 0, 0, 0, 0, 0];
+        let ds = Dataset::from_rows(schema, rows, labels).unwrap();
+        let params = TreeParams { max_depth: 5, min_samples_leaf: 3, ..Default::default() };
+        let tree = DecisionTree::fit(&ds, &[0], &(0..8).collect::<Vec<_>>(), None, &params, 0);
+        // Separating the single positive (row 0) would need a leaf of
+        // size < 3, so no split can isolate it.
+        assert!(tree.predict_proba_row(&[0.0]) < 0.5);
+    }
+
+    #[test]
+    fn entropy_criterion_also_learns() {
+        let ds = xor_dataset();
+        let idx = all_indices(&ds);
+        let params = TreeParams {
+            max_depth: 3,
+            criterion: SplitCriterion::Entropy,
+            ..Default::default()
+        };
+        let tree = DecisionTree::fit(&ds, &[0, 1], &idx, None, &params, 0);
+        for i in 0..ds.len() {
+            assert_eq!(tree.predict_row(ds.row(i)), ds.label(i));
+        }
+    }
+
+    #[test]
+    fn feature_subsampling_uses_allowed_features_only() {
+        let ds = xor_dataset();
+        let idx = all_indices(&ds);
+        let params = TreeParams {
+            max_depth: 3,
+            max_features: Some(1),
+            ..Default::default()
+        };
+        // With one random feature per node it may or may not solve XOR, but
+        // it must run and produce a valid tree.
+        let tree = DecisionTree::fit(&ds, &[0, 1], &idx, None, &params, 42);
+        assert!(tree.n_nodes() >= 1);
+        let p = tree.predict_proba_row(&[1.0, 0.0]);
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ds = xor_dataset();
+        let idx = all_indices(&ds);
+        let params = TreeParams { max_depth: 3, max_features: Some(1), ..Default::default() };
+        let a = DecisionTree::fit(&ds, &[0, 1], &idx, None, &params, 7);
+        let b = DecisionTree::fit(&ds, &[0, 1], &idx, None, &params, 7);
+        for i in 0..ds.len() {
+            assert_eq!(a.predict_row(ds.row(i)), b.predict_row(ds.row(i)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn empty_training_set_panics() {
+        let ds = xor_dataset();
+        DecisionTree::fit(&ds, &[0, 1], &[], None, &TreeParams::default(), 0);
+    }
+}

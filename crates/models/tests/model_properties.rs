@@ -1,0 +1,141 @@
+//! Property-based tests over the model substrate: every trainer must
+//! accept arbitrary (finite) data without panicking and produce valid
+//! probabilities, and weighted training must degenerate correctly.
+
+use falcc_dataset::{Dataset, Schema};
+use falcc_models::bayes::GaussianNb;
+use falcc_models::linear::{LogisticParams, LogisticRegression};
+use falcc_models::tree::{DecisionTree, TreeParams};
+use falcc_models::{AdaBoost, AdaBoostParams, Classifier, RandomForest, RandomForestParams};
+use proptest::prelude::*;
+
+/// Strategy: a dataset of n ∈ [8, 60] rows with 2 features and arbitrary
+/// binary labels (at least one of each class not guaranteed — trainers
+/// must cope with single-class data too).
+fn arbitrary_dataset() -> impl Strategy<Value = Dataset> {
+    (8usize..60)
+        .prop_flat_map(|n| {
+            (
+                prop::collection::vec(-50.0f64..50.0, n * 2),
+                prop::collection::vec(0u8..=1, n),
+            )
+        })
+        .prop_map(|(flat, labels)| {
+            let schema =
+                Schema::new(vec!["a".into(), "b".into()], vec![], "y").expect("schema");
+            Dataset::from_flat(schema, flat, labels).expect("dataset")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tree_probabilities_are_valid(ds in arbitrary_dataset(), depth in 0usize..6) {
+        let idx: Vec<usize> = (0..ds.len()).collect();
+        let params = TreeParams { max_depth: depth, ..Default::default() };
+        let tree = DecisionTree::fit(&ds, &[0, 1], &idx, None, &params, 1);
+        for i in 0..ds.len() {
+            let p = tree.predict_proba_row(ds.row(i));
+            prop_assert!((0.0..=1.0).contains(&p), "proba {p}");
+        }
+        prop_assert!(tree.depth() <= depth);
+    }
+
+    #[test]
+    fn uniform_unit_weights_equal_no_weights(ds in arbitrary_dataset()) {
+        // Weight 1.0 exactly reproduces the unweighted arithmetic. (Other
+        // constants scale the float rounding at split ties, which can
+        // legitimately select a different equal-gain split.)
+        let idx: Vec<usize> = (0..ds.len()).collect();
+        let params = TreeParams::default();
+        let unweighted = DecisionTree::fit(&ds, &[0, 1], &idx, None, &params, 2);
+        let w = vec![1.0; ds.len()];
+        let weighted = DecisionTree::fit(&ds, &[0, 1], &idx, Some(&w), &params, 2);
+        for i in 0..ds.len() {
+            prop_assert_eq!(
+                unweighted.predict_row(ds.row(i)),
+                weighted.predict_row(ds.row(i))
+            );
+        }
+    }
+
+    #[test]
+    fn boosting_never_panics_and_bounds_probabilities(
+        ds in arbitrary_dataset(),
+        rounds in 1usize..12,
+    ) {
+        let idx: Vec<usize> = (0..ds.len()).collect();
+        let params = AdaBoostParams {
+            n_estimators: rounds,
+            tree: TreeParams { max_depth: 2, ..Default::default() },
+        };
+        let model = AdaBoost::fit(&ds, &[0, 1], &idx, None, &params, 3);
+        prop_assert!(model.n_stages() >= 1);
+        prop_assert!(model.n_stages() <= rounds);
+        for i in 0..ds.len() {
+            let p = model.predict_proba_row(ds.row(i));
+            prop_assert!((0.0..=1.0).contains(&p), "proba {p}");
+        }
+    }
+
+    #[test]
+    fn forest_probability_is_a_vote_fraction(ds in arbitrary_dataset()) {
+        let idx: Vec<usize> = (0..ds.len()).collect();
+        let params = RandomForestParams { n_estimators: 5, ..Default::default() };
+        let model = RandomForest::fit(&ds, &[0, 1], &idx, &params, 4);
+        for i in 0..ds.len() {
+            let p = model.predict_proba_row(ds.row(i));
+            let scaled = p * 5.0;
+            prop_assert!((scaled - scaled.round()).abs() < 1e-9, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn logistic_regression_outputs_finite_probabilities(ds in arbitrary_dataset()) {
+        let idx: Vec<usize> = (0..ds.len()).collect();
+        let params = LogisticParams { epochs: 50, ..Default::default() };
+        let model = LogisticRegression::fit(&ds, &[0, 1], &idx, &params);
+        for i in 0..ds.len() {
+            let p = model.predict_proba_row(ds.row(i));
+            prop_assert!(p.is_finite() && (0.0..=1.0).contains(&p), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn naive_bayes_handles_any_binary_labeling(ds in arbitrary_dataset()) {
+        let idx: Vec<usize> = (0..ds.len()).collect();
+        let model = GaussianNb::fit(&ds, &[0, 1], &idx);
+        for i in 0..ds.len() {
+            let p = model.predict_proba_row(ds.row(i));
+            prop_assert!(p.is_finite() && (0.0..=1.0).contains(&p), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn training_on_a_subset_only_uses_that_subset(ds in arbitrary_dataset()) {
+        // Train on the first half only; mutating the *second* half of the
+        // dataset must not change predictions (trainer honours `indices`).
+        let half = ds.len() / 2;
+        let idx: Vec<usize> = (0..half).collect();
+        if idx.len() < 2 {
+            return Ok(());
+        }
+        let params = TreeParams::default();
+        let tree = DecisionTree::fit(&ds, &[0, 1], &idx, None, &params, 5);
+        // Rebuild a dataset where the unused rows are replaced by noise.
+        let mut rows: Vec<Vec<f64>> = (0..ds.len()).map(|i| ds.row(i).to_vec()).collect();
+        let mut labels = ds.labels().to_vec();
+        for (j, row) in rows.iter_mut().enumerate().skip(half) {
+            row[0] += 1000.0;
+            row[1] -= 1000.0;
+            labels[j] ^= 1;
+        }
+        let mutated =
+            Dataset::from_rows(ds.schema().clone(), rows, labels).expect("dataset");
+        let tree2 = DecisionTree::fit(&mutated, &[0, 1], &idx, None, &params, 5);
+        for i in 0..half {
+            prop_assert_eq!(tree.predict_row(ds.row(i)), tree2.predict_row(ds.row(i)));
+        }
+    }
+}

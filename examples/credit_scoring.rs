@@ -1,0 +1,72 @@
+//! Credit scoring: compare FALCC with Decouple and FaX on the Credit Card
+//! Clients dataset (emulated; §4.1.1 of the paper), reporting the full
+//! quality profile — accuracy plus global, local, and individual bias.
+//!
+//! ```sh
+//! cargo run --release --example credit_scoring
+//! ```
+
+use falcc::{FairClassifier, FalccConfig, FalccModel};
+use falcc_baselines::{Decouple, Fax, FaxParams};
+use falcc_clustering::{KMeans};
+use falcc_dataset::real;
+use falcc_dataset::{SplitRatios, ThreeWaySplit};
+use falcc_metrics::individual::consistency;
+use falcc_metrics::{accuracy, local_bias, FairnessMetric, LossConfig};
+use falcc_models::ModelPool;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 10%-scale emulation keeps the example under a minute.
+    let data = real::credit_card().generate(3, 0.10)?;
+    let split = ThreeWaySplit::split(&data, SplitRatios::PAPER, 3)?;
+    let metric = FairnessMetric::DemographicParity;
+    println!(
+        "Credit Card Clients (emulated): {} applicants, protected attribute `sex`",
+        data.len()
+    );
+
+    // Shared evaluation regions so local bias is comparable: k-means over
+    // the non-sensitive features of the test split.
+    let attrs = split.test.schema().non_sensitive_attrs();
+    let projected = split.test.project(&attrs, None);
+    let km = KMeans::new(8, 3).fit(&projected);
+    let regions = km.assignments.clone();
+
+    let falcc = FalccModel::fit(&split.train, &split.validation, &FalccConfig::default())?;
+    let decouple = Decouple::fit(
+        ModelPool::standard_five(&split.train, 3),
+        &split.validation,
+        LossConfig::balanced(metric),
+    )?;
+    let fax = Fax::fit(&split.train, &FaxParams::default(), 3);
+
+    println!(
+        "\n{:<12} {:>9} {:>12} {:>11} {:>12}",
+        "algorithm", "accuracy", "global bias", "local bias", "indiv. bias"
+    );
+    let contenders: [&dyn FairClassifier; 3] = [&falcc, &decouple, &fax];
+    for model in contenders {
+        let preds = model.predict_dataset(&split.test);
+        let y = split.test.labels();
+        let g = split.test.groups();
+        let acc = accuracy(y, &preds);
+        let global = metric.bias(y, &preds, g, 2);
+        let local = local_bias(metric, y, &preds, g, 2, &regions, km.k());
+        let indiv = 1.0 - consistency(&projected, &preds, 5);
+        println!(
+            "{:<12} {:>8.1}% {:>11.2}% {:>10.2}% {:>11.2}%",
+            model.name(),
+            acc * 100.0,
+            global * 100.0,
+            local * 100.0,
+            indiv * 100.0
+        );
+    }
+
+    println!(
+        "\nNote: lower bias is better. FALCC targets the *local* column without\n\
+         giving up accuracy; Decouple optimises the global column only; FaX\n\
+         excels at the individual column (cf. paper §4.2)."
+    );
+    Ok(())
+}

@@ -1,0 +1,11 @@
+//! Root helper crate for the FALCC reproduction: shared glue used by the
+//! runnable examples and the cross-crate integration tests. The actual
+//! library surface lives in the `crates/` workspace members.
+
+/// Re-export of the workspace crates so examples can `use falcc_repro::*`.
+pub use falcc;
+pub use falcc_baselines;
+pub use falcc_clustering;
+pub use falcc_dataset;
+pub use falcc_metrics;
+pub use falcc_models;

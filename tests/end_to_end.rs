@@ -1,0 +1,136 @@
+//! End-to-end integration tests: the full FALCC pipeline (and the
+//! baselines) on every bundled dataset emulator, exercised across crate
+//! boundaries exactly the way the experiment harness uses them.
+
+use falcc::{FairClassifier, FalccConfig, FalccModel, ProxyStrategy};
+use falcc_dataset::real;
+use falcc_dataset::synthetic;
+use falcc_dataset::{SplitRatios, ThreeWaySplit};
+use falcc_metrics::{accuracy, FairnessMetric};
+
+fn fit_on(ds: falcc_dataset::Dataset, seed: u64) -> (FalccModel, ThreeWaySplit) {
+    let split = ThreeWaySplit::split(&ds, SplitRatios::PAPER, seed).expect("split");
+    let mut cfg = FalccConfig::default();
+    cfg.scale_for_tests();
+    cfg.seed = seed;
+    let model = FalccModel::fit(&split.train, &split.validation, &cfg).expect("fit");
+    (model, split)
+}
+
+#[test]
+fn falcc_runs_on_every_real_dataset_emulator() {
+    for spec in real::all_specs() {
+        let ds = spec.generate(1, 0.02);
+        let ds = match ds {
+            Ok(d) => d,
+            Err(e) => panic!("{}: {e}", spec.name),
+        };
+        let (model, split) = fit_on(ds, 1);
+        let preds = model.predict_dataset(&split.test);
+        assert_eq!(preds.len(), split.test.len(), "{}", spec.name);
+        let acc = accuracy(split.test.labels(), &preds);
+        assert!(acc > 0.5, "{}: accuracy {acc}", spec.name);
+    }
+}
+
+#[test]
+fn falcc_handles_four_sensitive_groups() {
+    let ds = real::adult_sex_race().generate(2, 0.05).expect("generate");
+    assert_eq!(ds.group_index().len(), 4);
+    let (model, split) = fit_on(ds, 2);
+    // Every cluster must carry a 4-entry combination.
+    for c in 0..model.n_regions() {
+        assert_eq!(model.combo(c).len(), 4);
+    }
+    let preds = model.predict_dataset(&split.test);
+    assert!(accuracy(split.test.labels(), &preds) > 0.5);
+}
+
+#[test]
+fn pipeline_is_deterministic_end_to_end() {
+    let make = || {
+        let ds = synthetic::social30(9).expect("generate");
+        let ds = ds.subset(&(0..2000).collect::<Vec<_>>()).expect("subset");
+        let (model, split) = fit_on(ds, 9);
+        model.predict_dataset(&split.test)
+    };
+    assert_eq!(make(), make());
+}
+
+#[test]
+fn proxy_mitigation_reduces_global_bias_on_implicit_data() {
+    // The Fig. 5 headline claim as an invariant: with strong proxy bias,
+    // mitigation must not *increase* global bias, and usually decreases it.
+    let mut dcfg = falcc_dataset::synthetic::SyntheticConfig::implicit(0.40);
+    dcfg.n = 3000;
+    let ds = falcc_dataset::synthetic::generate(&dcfg, 3).expect("generate");
+    let split = ThreeWaySplit::split(&ds, SplitRatios::PAPER, 3).expect("split");
+
+    let bias_with = |strategy: ProxyStrategy| {
+        let mut cfg = FalccConfig::default();
+        cfg.scale_for_tests();
+        cfg.proxy = strategy;
+        cfg.seed = 3;
+        let model =
+            FalccModel::fit(&split.train, &split.validation, &cfg).expect("fit");
+        let preds = model.predict_dataset(&split.test);
+        FairnessMetric::DemographicParity.bias(
+            split.test.labels(),
+            &preds,
+            split.test.groups(),
+            2,
+        )
+    };
+    let none = bias_with(ProxyStrategy::None);
+    let reweigh = bias_with(ProxyStrategy::Reweigh);
+    let remove = bias_with(ProxyStrategy::PAPER_REMOVE);
+    // Allow a small tolerance: mitigation trades bias for accuracy and the
+    // clusters shift, but it must not blow the bias up.
+    assert!(reweigh <= none + 0.05, "reweigh {reweigh} vs none {none}");
+    assert!(remove <= none + 0.05, "remove {remove} vs none {none}");
+}
+
+#[test]
+fn all_baselines_run_on_compas_emulation() {
+    use falcc_baselines::*;
+    use falcc_metrics::LossConfig;
+    use falcc_models::ModelPool;
+
+    let ds = real::compas().generate(4, 0.1).expect("generate");
+    let split = ThreeWaySplit::split(&ds, SplitRatios::PAPER, 4).expect("split");
+    let loss = LossConfig::balanced(FairnessMetric::DemographicParity);
+
+    let pool = ModelPool::standard_five(&split.train, 4);
+    let models: Vec<Box<dyn FairClassifier>> = vec![
+        Box::new(FairBoost::fit(&split.train, &FairBoostParams::default(), 4)),
+        Box::new(Lfr::fit(&split.train, &LfrParams::default(), 4)),
+        Box::new(IFair::fit(&split.train, &IFairParams::default(), 4)),
+        Box::new(Fax::fit(&split.train, &FaxParams::default(), 4)),
+        Box::new(FairSmote::fit(&split.train, &FairSmoteParams::default(), 4)),
+        Box::new(Decouple::fit(pool.clone(), &split.validation, loss).expect("decouple")),
+        Box::new(
+            Falces::fit(pool, &split.validation, &FalcesConfig::default())
+                .expect("falces"),
+        ),
+    ];
+    for model in &models {
+        let preds = model.predict_dataset(&split.test);
+        assert_eq!(preds.len(), split.test.len(), "{}", model.name());
+        let acc = accuracy(split.test.labels(), &preds);
+        assert!(acc > 0.4, "{}: accuracy {acc} not plausible", model.name());
+    }
+}
+
+#[test]
+fn csv_round_trip_feeds_the_pipeline() {
+    // Export an emulated dataset to CSV, re-import it, and train on the
+    // re-imported copy — the drop-in path for externally obtained data.
+    let ds = real::compas().generate(6, 0.05).expect("generate");
+    let mut buf = Vec::new();
+    falcc_dataset::csv::write_csv(&ds, &mut buf).expect("write");
+    let again = falcc_dataset::csv::read_csv(buf.as_slice(), &[("race", vec![0.0, 1.0])])
+        .expect("read");
+    assert_eq!(again.len(), ds.len());
+    let (model, split) = fit_on(again, 6);
+    assert_eq!(model.predict_dataset(&split.test).len(), split.test.len());
+}

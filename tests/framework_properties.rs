@@ -1,0 +1,181 @@
+//! Property-based tests (proptest) over the framework's core invariants:
+//! metric bounds, degenerate-region equivalences, loss algebra, Pareto
+//! semantics, and the kd-tree's agreement with brute force.
+
+use falcc_dataset::dataset::ProjectedMatrix;
+use falcc_dataset::stats;
+use falcc_dataset::GroupId;
+use falcc_metrics::individual::consistency;
+use falcc_metrics::{
+    accuracy, l_hat, local_bias, pareto_front, rank_by_l_hat, FairnessMetric,
+    QualityPoint,
+};
+use proptest::prelude::*;
+
+/// Strategy: parallel (labels, predictions, binary groups) of length 4–64.
+fn labeled_predictions() -> impl Strategy<Value = (Vec<u8>, Vec<u8>, Vec<GroupId>)> {
+    (4usize..64).prop_flat_map(|n| {
+        (
+            prop::collection::vec(0u8..=1, n),
+            prop::collection::vec(0u8..=1, n),
+            prop::collection::vec((0u16..2).prop_map(GroupId), n),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn fairness_metrics_are_bounded((y, z, g) in labeled_predictions()) {
+        for metric in FairnessMetric::ALL {
+            let b = metric.bias(&y, &z, &g, 2);
+            prop_assert!((0.0..=1.0).contains(&b), "{metric}: {b}");
+        }
+    }
+
+    #[test]
+    fn perfect_predictions_have_max_accuracy((y, _, g) in labeled_predictions()) {
+        prop_assert_eq!(accuracy(&y, &y), 1.0);
+        // Equal-opportunity bias of perfect predictions is 0: TPR is 1 in
+        // every group with positives.
+        let b = FairnessMetric::EqualOpportunity.bias(&y, &y, &g, 2);
+        prop_assert!(b.abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_region_local_bias_equals_global((y, z, g) in labeled_predictions()) {
+        let regions = vec![0usize; y.len()];
+        for metric in FairnessMetric::ALL {
+            let local = local_bias(metric, &y, &z, &g, 2, &regions, 1);
+            let global = metric.bias(&y, &z, &g, 2);
+            prop_assert!((local - global).abs() < 1e-12, "{metric}");
+        }
+    }
+
+    #[test]
+    fn local_bias_is_a_convex_combination((y, z, g) in labeled_predictions(),
+                                          split_at in 1usize..3) {
+        // Regions partition the data; the weighted average must lie within
+        // the min/max of the per-region biases.
+        let n = y.len();
+        let cut = n * split_at / 3;
+        let regions: Vec<usize> = (0..n).map(|i| usize::from(i >= cut.max(1))).collect();
+        let metric = FairnessMetric::DemographicParity;
+        let local = local_bias(metric, &y, &z, &g, 2, &regions, 2);
+        prop_assert!((0.0..=1.0).contains(&local));
+    }
+
+    #[test]
+    fn l_hat_is_monotone_in_both_terms(
+        lambda in 0.0f64..=1.0,
+        inacc in 0.0f64..=1.0,
+        bias in 0.0f64..=1.0,
+        delta in 0.0f64..=0.5,
+    ) {
+        let base = l_hat(lambda, inacc, bias);
+        let worse_acc = l_hat(lambda, (inacc + delta).min(1.0), bias);
+        let worse_bias = l_hat(lambda, inacc, (bias + delta).min(1.0));
+        prop_assert!(worse_acc >= base - 1e-12);
+        prop_assert!(worse_bias >= base - 1e-12);
+    }
+
+    #[test]
+    fn pareto_front_is_never_empty_and_never_dominated(
+        points in prop::collection::vec((0.0f64..=1.0, 0.0f64..=1.0), 1..20)
+    ) {
+        let qp: Vec<QualityPoint> = points
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b))| QualityPoint { name: format!("p{i}"), accuracy: a, bias: b })
+            .collect();
+        let front = pareto_front(&qp);
+        prop_assert!(!front.is_empty());
+        // No front member is dominated by any point.
+        for &i in &front {
+            for (j, p) in qp.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!p.dominates(&qp[i]));
+                }
+            }
+        }
+        // The L̂ winner is always on the front.
+        let best = rank_by_l_hat(&qp, 0.5)[0];
+        prop_assert!(front.contains(&best));
+    }
+
+    #[test]
+    fn consistency_is_bounded_and_perfect_for_constant_predictions(
+        coords in prop::collection::vec(-10.0f64..10.0, 6..40),
+        bits in prop::collection::vec(0u8..=1, 6..40),
+    ) {
+        let n = coords.len().min(bits.len());
+        let x = ProjectedMatrix { data: coords[..n].to_vec(), n_cols: 1, n_rows: n };
+        let z = &bits[..n];
+        let c = consistency(&x, z, 3);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&c), "c = {c}");
+        let ones = vec![1u8; n];
+        prop_assert!((consistency(&x, &ones, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_is_symmetric_and_bounded(
+        pairs in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 3..50)
+    ) {
+        let a: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let b: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let r1 = stats::pearson(&a, &b);
+        let r2 = stats::pearson(&b, &a);
+        prop_assert!((r1 - r2).abs() < 1e-12);
+        prop_assert!((-1.0..=1.0).contains(&r1));
+        // Affine invariance: corr(a, 2a + 3) = 1 for non-constant a.
+        if stats::variance(&a) > 1e-9 {
+            let scaled: Vec<f64> = a.iter().map(|x| 2.0 * x + 3.0).collect();
+            prop_assert!((stats::pearson(&a, &scaled) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn incomplete_beta_is_monotone_in_x(
+        a in 0.5f64..5.0,
+        b in 0.5f64..5.0,
+        x1 in 0.0f64..=1.0,
+        x2 in 0.0f64..=1.0,
+    ) {
+        let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        let i_lo = stats::regularized_incomplete_beta(a, b, lo);
+        let i_hi = stats::regularized_incomplete_beta(a, b, hi);
+        prop_assert!(i_lo <= i_hi + 1e-9, "I_x must be a CDF");
+    }
+}
+
+#[test]
+fn kdtree_matches_brute_force_on_random_data() {
+    use falcc_clustering::KdTree;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(17);
+    let n = 300;
+    let d = 4;
+    let data: Vec<f64> = (0..n * d).map(|_| rng.gen_range(-5.0..5.0)).collect();
+    let x = ProjectedMatrix { data, n_cols: d, n_rows: n };
+    let tree = KdTree::build(x.clone());
+    for _ in 0..25 {
+        let q: Vec<f64> = (0..d).map(|_| rng.gen_range(-6.0..6.0)).collect();
+        let got = tree.nearest(&q, 5);
+        let mut brute: Vec<(usize, f64)> = (0..n)
+            .map(|i| {
+                let dist: f64 = x
+                    .row(i)
+                    .iter()
+                    .zip(&q)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                (i, dist)
+            })
+            .collect();
+        brute.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        for (g, e) in got.iter().zip(&brute[..5]) {
+            assert!((g.1 - e.1).abs() < 1e-9);
+        }
+    }
+}
