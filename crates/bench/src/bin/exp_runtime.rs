@@ -12,7 +12,8 @@ use falcc_bench::algos::{fit_algorithm, Algo, PoolSet};
 use falcc_bench::report::write_csv;
 use falcc_bench::{BenchDataset, Opts, Table};
 use falcc_dataset::{Dataset, SplitRatios, ThreeWaySplit};
-use falcc::FairClassifier;
+use falcc::{FairClassifier, FalccConfig, FalccModel};
+use falcc_metrics::LossConfig;
 use std::time::Instant;
 
 /// Median-of-runs per-sample latency of one model's online phase, in
@@ -31,6 +32,35 @@ fn online_micros(model: &dyn FairClassifier, test: &Dataset, reps: usize) -> f64
     times[times.len() / 2]
 }
 
+/// Median-of-runs per-sample latency of FALCC's *batched* online phase
+/// (`classify_batch`) at the model's configured thread count.
+fn batched_micros(model: &FalccModel, rows: &[Vec<f64>], reps: usize) -> f64 {
+    let mut times: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            let preds = model.classify_batch(rows);
+            let elapsed = start.elapsed().as_nanos() as f64;
+            assert_eq!(preds.len(), rows.len());
+            elapsed / rows.len() as f64 / 1_000.0
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    times[times.len() / 2]
+}
+
+/// The FALCC configuration `fit_algorithm` uses, with an explicit thread
+/// count — for the offline-phase scaling measurement.
+fn falcc_config(metric: falcc_metrics::FairnessMetric, seed: u64, threads: usize) -> FalccConfig {
+    let mut cfg = FalccConfig {
+        loss: LossConfig::balanced(metric),
+        seed,
+        threads,
+        ..Default::default()
+    };
+    cfg.pool.seed = seed;
+    cfg
+}
+
 fn main() {
     let opts = Opts::from_args();
     let out = opts.ensure_out_dir().to_path_buf();
@@ -45,7 +75,11 @@ fn main() {
 
     let mut table = Table::new(
         "Fig. 6 — online-phase runtime, microseconds per sample (median of reps)",
-        &["dataset", "groups", "FALCC", "FALCES-FASTEST", "(variant)", "OTHER-FASTEST", "(algo)"],
+        &["dataset", "groups", "FALCC", "FALCC-batch", "FALCES-FASTEST", "(variant)", "OTHER-FASTEST", "(algo)"],
+    );
+    let mut offline_table = Table::new(
+        "Offline-phase fit wall-clock (seconds) vs worker threads — identical models",
+        &["dataset", "threads=1", "threads=4", "speedup"],
     );
 
     for dataset in datasets {
@@ -55,10 +89,40 @@ fn main() {
         let n_groups = split.test.group_index().len();
         let pools = PoolSet::build(&split, seed);
 
-        // FALCC.
-        let falcc = fit_algorithm(Algo::Falcc, &split, &pools, metric, seed)
-            .remove(0);
-        let falcc_us = online_micros(falcc.model.as_ref(), &split.test, 3);
+        // FALCC: fit once per thread count — wall-clock scaling for the
+        // offline table, and a determinism spot-check (the parallel layer
+        // guarantees bit-identical models for every thread count).
+        let start = Instant::now();
+        let falcc_seq =
+            FalccModel::fit(&split.train, &split.validation, &falcc_config(metric, seed, 1))
+                .expect("group coverage");
+        let fit_1t = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        let mut falcc =
+            FalccModel::fit(&split.train, &split.validation, &falcc_config(metric, seed, 4))
+                .expect("group coverage");
+        let fit_4t = start.elapsed().as_secs_f64();
+        assert_eq!(
+            falcc_seq.predict_dataset(&split.test),
+            falcc.predict_dataset(&split.test),
+            "thread count changed the fitted model"
+        );
+        offline_table.push(vec![
+            dataset.name().into(),
+            format!("{fit_1t:.3}"),
+            format!("{fit_4t:.3}"),
+            format!("{:.2}x", fit_1t / fit_4t),
+        ]);
+
+        // Per-sample latency (Fig. 6 proper) stays sequential so the
+        // comparison with the single-threaded baselines is apples to
+        // apples; the batch column shows the deployed throughput.
+        falcc.set_threads(1);
+        let falcc_us = online_micros(&falcc, &split.test, 3);
+        let rows: Vec<Vec<f64>> =
+            (0..split.test.len()).map(|i| split.test.row(i).to_vec()).collect();
+        falcc.set_threads(0);
+        let falcc_batch_us = batched_micros(&falcc, &rows, 3);
 
         // FALCES family → fastest variant.
         let falces = fit_algorithm(Algo::FalcesBest, &split, &pools, metric, seed);
@@ -84,6 +148,7 @@ fn main() {
             dataset.name().into(),
             n_groups.to_string(),
             format!("{falcc_us:.2}"),
+            format!("{falcc_batch_us:.2}"),
             format!("{falces_us:.2}"),
             falces_name,
             format!("{other_us:.2}"),
@@ -93,5 +158,7 @@ fn main() {
     }
 
     print!("{}", table.render());
+    print!("{}", offline_table.render());
     write_csv(&table, &out, "fig6_runtime.csv");
+    write_csv(&offline_table, &out, "offline_scaling.csv");
 }

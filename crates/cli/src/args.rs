@@ -36,6 +36,7 @@ pub struct TrainArgs {
     pub val_split: f64,
     pub seed: u64,
     pub tune: bool,
+    pub threads: usize,
 }
 
 /// `falcc predict` options.
@@ -44,6 +45,7 @@ pub struct PredictArgs {
     pub model: String,
     pub data: String,
     pub out: Option<String>,
+    pub threads: usize,
 }
 
 /// Shared `--model` + `--data` options.
@@ -122,6 +124,7 @@ fn parse_train(args: &[String]) -> Result<Command, CliError> {
         val_split: 0.4,
         seed: 42,
         tune: false,
+        threads: 0,
     };
     let mut cur = Cursor { args, at: 0 };
     while cur.at < cur.args.len() {
@@ -170,6 +173,9 @@ fn parse_train(args: &[String]) -> Result<Command, CliError> {
             }
             "--seed" => out.seed = parse_num(cur.next_value("--seed")?, "--seed")?,
             "--tune" => out.tune = true,
+            "--threads" => {
+                out.threads = parse_num(cur.next_value("--threads")?, "--threads")?
+            }
             other => return Err(CliError::usage(format!("unknown flag {other}"))),
         }
     }
@@ -195,6 +201,7 @@ fn parse_predict(args: &[String]) -> Result<Command, CliError> {
     let mut model = None;
     let mut data = None;
     let mut out = None;
+    let mut threads = 0;
     let mut cur = Cursor { args, at: 0 };
     while cur.at < cur.args.len() {
         let flag = cur.args[cur.at].clone();
@@ -203,6 +210,7 @@ fn parse_predict(args: &[String]) -> Result<Command, CliError> {
             "--model" => model = Some(cur.next_value("--model")?.to_string()),
             "--data" => data = Some(cur.next_value("--data")?.to_string()),
             "--out" => out = Some(cur.next_value("--out")?.to_string()),
+            "--threads" => threads = parse_num(cur.next_value("--threads")?, "--threads")?,
             other => return Err(CliError::usage(format!("unknown flag {other}"))),
         }
     }
@@ -210,6 +218,7 @@ fn parse_predict(args: &[String]) -> Result<Command, CliError> {
         model: model.ok_or_else(|| CliError::usage("predict requires --model"))?,
         data: data.ok_or_else(|| CliError::usage("predict requires --data"))?,
         out,
+        threads,
     }))
 }
 
@@ -321,7 +330,8 @@ mod tests {
             Command::Predict(PredictArgs {
                 model: "m.json".into(),
                 data: "d.csv".into(),
-                out: None
+                out: None,
+                threads: 0,
             })
         );
         let cmd = parse(&v(&["audit", "--model", "m", "--data", "d"])).unwrap();

@@ -56,6 +56,7 @@ fn train(args: TrainArgs) -> Result<String, CliError> {
         proxy: args.proxy,
         clustering: args.clusters,
         seed: args.seed,
+        threads: args.threads,
         ..FalccConfig::default()
     };
     config.pool.seed = args.seed;
@@ -94,7 +95,10 @@ fn train(args: TrainArgs) -> Result<String, CliError> {
 }
 
 fn predict(args: PredictArgs) -> Result<String, CliError> {
-    let model = load_model(&args.model)?;
+    let mut model = load_model(&args.model)?;
+    // The batched online phase fans out over worker threads; predictions
+    // are identical for every thread count.
+    model.set_threads(args.threads);
     let sensitive = sensitive_decl_of(&model);
     let data = load_dataset(&args.data, &as_refs(&sensitive))?;
     let preds = model.predict_dataset(&data);

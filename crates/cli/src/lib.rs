@@ -68,11 +68,15 @@ USAGE:
   falcc train   --data <csv> --sensitive <col> [--sensitive <col>…] --out <model.json>
                 [--metric dp|eq_od|eq_op|tr_eq] [--lambda <0..1>]
                 [--proxy none|reweigh|remove] [--clusters auto|elbow|<k>]
-                [--val-split <0..1>] [--seed <u64>] [--tune]
-  falcc predict --model <model.json> --data <csv> [--out <csv>]
+                [--val-split <0..1>] [--seed <u64>] [--tune] [--threads <n>]
+  falcc predict --model <model.json> --data <csv> [--out <csv>] [--threads <n>]
   falcc audit   --model <model.json> --data <csv>
   falcc info    --model <model.json>
 
 CSV format: header row, numeric cells, binary label in the last column.
 Sensitive columns must be 0/1-coded.
+
+--threads 0 (the default) uses every available core. The thread count is
+a throughput knob only: trained models and predictions are bit-identical
+for every value.
 ";

@@ -34,6 +34,43 @@ proptest! {
     }
 
     #[test]
+    fn kmeans_assigns_each_point_to_its_nearest_centroid(x in arbitrary_matrix(),
+                                                         k in 1usize..8) {
+        // Lloyd's invariant after convergence: the stored assignment is
+        // the argmin over centroid distances, computed here by brute
+        // force, independent of `predict`'s implementation.
+        let model = KMeans::new(k, 5).fit(&x);
+        for (i, &assigned) in model.assignments.iter().enumerate() {
+            let p = x.row(i);
+            let dist = |c: &[f64]| -> f64 {
+                c.iter().zip(p).map(|(a, b)| (a - b) * (a - b)).sum()
+            };
+            let d_assigned = dist(&model.centroids[assigned]);
+            for (c, centroid) in model.centroids.iter().enumerate() {
+                prop_assert!(
+                    d_assigned <= dist(centroid) + 1e-9,
+                    "point {i} assigned to {assigned} but {c} is closer"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kmeans_produces_k_non_empty_clusters(x in arbitrary_matrix(), k in 1usize..8) {
+        // Every reported cluster owns at least one point: the model never
+        // reports a k with dead clusters.
+        let model = KMeans::new(k, 9).fit(&x);
+        let mut counts = vec![0usize; model.k()];
+        for &c in &model.assignments {
+            counts[c] += 1;
+        }
+        prop_assert!(
+            counts.iter().all(|&n| n > 0),
+            "empty cluster in counts {counts:?} (k = {})", model.k()
+        );
+    }
+
+    #[test]
     fn kmeans_sse_non_increasing_in_k(x in arbitrary_matrix()) {
         let sse: Vec<f64> = (1..=4).map(|k| KMeans::new(k, 7).fit(&x).sse).collect();
         for w in sse.windows(2) {

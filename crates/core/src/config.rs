@@ -38,6 +38,15 @@ pub struct FalccConfig {
     pub individual_assessment_k: Option<usize>,
     /// Master RNG seed.
     pub seed: u64,
+    /// Worker threads for the parallel stages — pool training, per-cluster
+    /// assessment, and batched online classification (0 = available
+    /// parallelism). Purely a throughput knob: every stage derives its
+    /// randomness from item indices and merges results in input order, so
+    /// the fitted model and its predictions are bit-identical for every
+    /// value. Overrides [`PoolConfig::threads`] during [`fit`].
+    ///
+    /// [`fit`]: crate::FalccModel::fit
+    pub threads: usize,
 }
 
 impl Default for FalccConfig {
@@ -50,6 +59,7 @@ impl Default for FalccConfig {
             pool: PoolConfig::default(),
             individual_assessment_k: None,
             seed: 0,
+            threads: 0,
         }
     }
 }

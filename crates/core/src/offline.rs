@@ -7,7 +7,7 @@ use crate::proxy::ProxyOutcome;
 use falcc_clustering::{elbow_k, log_means, KEstimateConfig, KdTree, KMeans, KMeansModel};
 use falcc_dataset::{Dataset, GroupId};
 use falcc_metrics::LossConfig;
-use falcc_models::{enumerate_combinations, predict_dataset, ModelPool};
+use falcc_models::{enumerate_combinations, parallel_map, predict_dataset, ModelPool};
 
 /// A fitted FALCC model: everything the online phase needs.
 ///
@@ -26,6 +26,11 @@ pub struct FalccModel {
     pub(crate) group_index: falcc_dataset::GroupIndex,
     pub(crate) loss: LossConfig,
     pub(crate) name: String,
+    /// Worker threads for batched online classification (0 = available
+    /// parallelism). Carried over from [`FalccConfig::threads`] at fit
+    /// time; a throughput knob only — predictions are identical for every
+    /// value.
+    pub(crate) threads: usize,
 }
 
 impl FalccModel {
@@ -44,6 +49,7 @@ impl FalccModel {
         config.validate()?;
         let mut pool_cfg = config.pool;
         pool_cfg.seed ^= config.seed;
+        pool_cfg.threads = config.threads;
         let pool = ModelPool::train_diverse(train, validation, &pool_cfg);
         Self::fit_with_pool(validation, pool, config)
     }
@@ -95,25 +101,8 @@ impl FalccModel {
         // Gap filling (§3.5): make sure every cluster's assessment set has
         // members of every group, pulling in the nearest representatives.
         let tree = KdTree::build(projected);
-        let mut assessment_sets = kmeans.cluster_members();
-        for (c, members) in assessment_sets.iter_mut().enumerate() {
-            let mut present = vec![false; n_groups];
-            for &i in members.iter() {
-                present[validation.group(i).index()] = true;
-            }
-            for (g, &has_members) in present.iter().enumerate() {
-                if has_members {
-                    continue;
-                }
-                let gid = GroupId(g as u16);
-                let fill = tree.nearest_filtered(
-                    &kmeans.centroids[c],
-                    config.gap_fill_k,
-                    |i| validation.group(i) == gid,
-                );
-                members.extend(fill.iter().map(|&(i, _)| i));
-            }
-        }
+        let assessment_sets =
+            gap_fill(&kmeans, &tree, validation, n_groups, config.gap_fill_k);
 
         // §3.3 candidate combinations; §3.6 assessment.
         let candidates = enumerate_combinations(&pool, n_groups);
@@ -125,12 +114,11 @@ impl FalccModel {
         }
 
         // Precompute every pool model's predictions on the validation set
-        // once — assessment then only gathers.
-        let preds: Vec<Vec<u8>> = pool
-            .models
-            .iter()
-            .map(|m| predict_dataset(m.model.as_ref(), validation))
-            .collect();
+        // once — assessment then only gathers. Models predict
+        // independently, so this fans out across threads.
+        let preds: Vec<Vec<u8>> = parallel_map(&pool.models, config.threads, |_, m| {
+            predict_dataset(m.model.as_ref(), validation)
+        });
 
         // Within a numerical tolerance of the best loss, prefer the
         // combination using the *fewest distinct models*: near-ties are
@@ -143,8 +131,10 @@ impl FalccModel {
             sorted.dedup();
             sorted.len()
         };
-        let mut combos = Vec::with_capacity(assessment_sets.len());
-        for members in &assessment_sets {
+        // Clusters are assessed independently (shared read-only inputs,
+        // no randomness), so the per-cluster loop fans out across threads;
+        // the ordered merge keeps `combos[c]` aligned with cluster `c`.
+        let combos = parallel_map(&assessment_sets, config.threads, |_, members| {
             let y: Vec<u8> = members.iter().map(|&i| validation.label(i)).collect();
             let g: Vec<GroupId> = members.iter().map(|&i| validation.group(i)).collect();
             // Individual-fairness mode (§3.6): each member's k nearest
@@ -203,8 +193,8 @@ impl FalccModel {
                 .min_by_key(|&&(_, ci)| distinct_models(&candidates[ci]))
                 .expect("candidates are non-empty")
                 .1;
-            combos.push(candidates[chosen].clone());
-        }
+            candidates[chosen].clone()
+        });
 
         Ok(Self {
             schema: validation.schema().clone(),
@@ -215,12 +205,19 @@ impl FalccModel {
             group_index,
             loss: config.loss,
             name: "FALCC".to_string(),
+            threads: config.threads,
         })
     }
 
     /// Number of local regions (clusters).
     pub fn n_regions(&self) -> usize {
         self.kmeans.k()
+    }
+
+    /// The cluster centroids, in the proxy-mitigated projection space
+    /// (one per region, aligned with [`Self::combo`] indices).
+    pub fn centroids(&self) -> &[Vec<f64>] {
+        &self.kmeans.centroids
     }
 
     /// The trained model pool.
@@ -249,6 +246,19 @@ impl FalccModel {
         self.name = name.into();
     }
 
+    /// Worker threads the batched online phase uses (0 = available
+    /// parallelism).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Overrides the worker-thread count for batched classification
+    /// (0 = available parallelism). A throughput knob only: predictions
+    /// are bit-identical for every value.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads;
+    }
+
     pub(crate) fn kmeans(&self) -> &KMeansModel {
         &self.kmeans
     }
@@ -266,6 +276,36 @@ impl FalccModel {
     pub(crate) fn name_str(&self) -> &str {
         &self.name
     }
+}
+
+/// Gap filling (§3.5): each cluster's member list, extended so every
+/// sensitive group is represented — clusters missing a group pull in that
+/// group's `gap_fill_k` nearest validation rows (by centroid distance).
+fn gap_fill(
+    kmeans: &KMeansModel,
+    tree: &KdTree,
+    validation: &Dataset,
+    n_groups: usize,
+    gap_fill_k: usize,
+) -> Vec<Vec<usize>> {
+    let mut assessment_sets = kmeans.cluster_members();
+    for (c, members) in assessment_sets.iter_mut().enumerate() {
+        let mut present = vec![false; n_groups];
+        for &i in members.iter() {
+            present[validation.group(i).index()] = true;
+        }
+        for (g, &has_members) in present.iter().enumerate() {
+            if has_members {
+                continue;
+            }
+            let gid = GroupId(g as u16);
+            let fill = tree.nearest_filtered(&kmeans.centroids[c], gap_fill_k, |i| {
+                validation.group(i) == gid
+            });
+            members.extend(fill.iter().map(|&(i, _)| i));
+        }
+    }
+    assessment_sets
 }
 
 #[cfg(test)]
@@ -357,6 +397,45 @@ mod tests {
             FalccModel::fit(&split.train, &split.validation, &cfg),
             Err(FalccError::InvalidConfig { .. })
         ));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(16))]
+
+        /// Gap filling guarantees: after it runs, every cluster's
+        /// assessment set contains members of every sensitive group, even
+        /// when the clustering itself left groups out — regardless of
+        /// seed, cluster count, or how unbalanced the data is.
+        #[test]
+        fn gap_filled_sets_cover_every_group(
+            seed in 0u64..1000,
+            k in 1usize..7,
+            imbalance in 0.05f64..0.5,
+        ) {
+            use proptest::prelude::prop_assert;
+            let mut dcfg = SyntheticConfig::social(0.3);
+            dcfg.n = 300;
+            dcfg.p_protected = imbalance;
+            let ds = generate(&dcfg, seed).unwrap();
+            let n_groups = ds.group_index().len();
+            let attrs = ds.schema().non_sensitive_attrs();
+            let projected = ds.project(&attrs, None);
+            let kmeans = falcc_clustering::KMeans::new(k, seed).fit(&projected);
+            let tree = KdTree::build(projected);
+            let sets = gap_fill(&kmeans, &tree, &ds, n_groups, 5);
+            prop_assert!(sets.len() == kmeans.k());
+            for (c, members) in sets.iter().enumerate() {
+                prop_assert!(!members.is_empty(), "cluster {c} empty");
+                let mut present = vec![false; n_groups];
+                for &i in members {
+                    present[ds.group(i).index()] = true;
+                }
+                prop_assert!(
+                    present.iter().all(|&p| p),
+                    "cluster {c} lacks a group after gap filling: {present:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use crate::framework::FairClassifier;
 use crate::offline::FalccModel;
+use falcc_models::parallel_map_range;
 
 impl FalccModel {
     /// Step 2 of the online phase: which local region a (full-width) sample
@@ -32,6 +33,22 @@ impl FalccModel {
         let model_idx = self.combo(cluster)[group.index()];
         self.pool().models[model_idx].model.predict_row(row)
     }
+
+    /// The online phase for a batch of samples, fanned out over worker
+    /// threads ([`Self::threads`], 0 = available parallelism).
+    ///
+    /// Each sample's classification is independent — region assignment,
+    /// combination lookup, and model prediction read only shared fitted
+    /// state — and results come back in input order, so the output equals
+    /// `rows.iter().map(|r| self.classify(r))` exactly, for every thread
+    /// count.
+    ///
+    /// # Panics
+    /// As [`Self::classify`], if a row's sensitive values are
+    /// out-of-domain.
+    pub fn classify_batch(&self, rows: &[Vec<f64>]) -> Vec<u8> {
+        parallel_map_range(rows.len(), self.threads(), |i| self.classify(&rows[i]))
+    }
 }
 
 impl FairClassifier for FalccModel {
@@ -41,6 +58,12 @@ impl FairClassifier for FalccModel {
 
     fn name(&self) -> &str {
         self.name_str()
+    }
+
+    /// Batched override of the default row-by-row loop: same results
+    /// (ordered merge, no per-thread state), higher throughput.
+    fn predict_dataset(&self, ds: &falcc_dataset::Dataset) -> Vec<u8> {
+        parallel_map_range(ds.len(), self.threads(), |i| self.classify(ds.row(i)))
     }
 }
 

@@ -96,6 +96,9 @@ impl SavedFalccModel {
             combos: self.combos,
             proxy: self.proxy,
             group_index: self.group_index,
+            // Thread count is a runtime knob, not part of the fitted
+            // model: restored models default to auto.
+            threads: 0,
             loss: self.loss,
             name: self.name,
         }

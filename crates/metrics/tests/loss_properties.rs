@@ -1,0 +1,90 @@
+//! Property-based tests of the Eq. 2 loss `L̂ = λ·inaccuracy + (1−λ)·bias`:
+//! its endpoint identities, its convex-combination bounds, and its
+//! monotonicity in each argument.
+
+use falcc_dataset::GroupId;
+use falcc_metrics::{inaccuracy, l_hat, FairnessMetric, LossConfig};
+use proptest::prelude::*;
+
+/// Strategy: parallel (labels, predictions, binary groups) of length 4–64.
+fn labeled_predictions() -> impl Strategy<Value = (Vec<u8>, Vec<u8>, Vec<GroupId>)> {
+    (4usize..64).prop_flat_map(|n| {
+        (
+            prop::collection::vec(0u8..=1, n),
+            prop::collection::vec(0u8..=1, n),
+            prop::collection::vec((0u16..2).prop_map(GroupId), n),
+        )
+    })
+}
+
+proptest! {
+    /// λ = 1 weighs accuracy only: L̂ collapses to the inaccuracy,
+    /// whatever the fairness metric says.
+    #[test]
+    fn lambda_one_recovers_inaccuracy((y, z, g) in labeled_predictions()) {
+        for metric in FairnessMetric::ALL {
+            let loss = LossConfig { lambda: 1.0, metric };
+            let got = loss.evaluate(&y, &z, &g, 2);
+            let want = inaccuracy(&y, &z);
+            prop_assert!((got - want).abs() < 1e-12, "{metric}: {got} vs {want}");
+        }
+    }
+
+    /// λ = 0 weighs fairness only: L̂ collapses to the metric's bias,
+    /// whatever the predictions' accuracy.
+    #[test]
+    fn lambda_zero_recovers_bias((y, z, g) in labeled_predictions()) {
+        for metric in FairnessMetric::ALL {
+            let loss = LossConfig { lambda: 0.0, metric };
+            let got = loss.evaluate(&y, &z, &g, 2);
+            let want = metric.bias(&y, &z, &g, 2);
+            prop_assert!((got - want).abs() < 1e-12, "{metric}: {got} vs {want}");
+        }
+    }
+
+    /// For every λ, L̂ is a convex combination: it lies between the two
+    /// endpoint losses.
+    #[test]
+    fn l_hat_lies_between_its_components((y, z, g) in labeled_predictions(),
+                                         lambda in 0.0f64..=1.0) {
+        for metric in FairnessMetric::ALL {
+            let loss = LossConfig { lambda, metric };
+            let got = loss.evaluate(&y, &z, &g, 2);
+            let inacc = inaccuracy(&y, &z);
+            let bias = metric.bias(&y, &z, &g, 2);
+            let lo = inacc.min(bias) - 1e-12;
+            let hi = inacc.max(bias) + 1e-12;
+            prop_assert!((lo..=hi).contains(&got), "{metric}: {got} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// L̂ is monotone non-decreasing in both inaccuracy and bias: a
+    /// strictly worse prediction can never score a strictly better loss.
+    #[test]
+    fn l_hat_is_monotone_in_each_argument(lambda in 0.0f64..=1.0,
+                                          inacc in 0.0f64..=1.0,
+                                          bias in 0.0f64..=1.0,
+                                          bump in 0.0f64..=0.5) {
+        let base = l_hat(lambda, inacc, bias);
+        let worse_acc = l_hat(lambda, (inacc + bump).min(1.0), bias);
+        let worse_bias = l_hat(lambda, inacc, (bias + bump).min(1.0));
+        prop_assert!(worse_acc >= base - 1e-12);
+        prop_assert!(worse_bias >= base - 1e-12);
+    }
+
+    /// Moving λ toward 1 shifts weight from the bias term to the
+    /// inaccuracy term: when inaccuracy exceeds bias, L̂ grows with λ, and
+    /// vice versa.
+    #[test]
+    fn lambda_interpolates_monotonically(inacc in 0.0f64..=1.0, bias in 0.0f64..=1.0) {
+        let at = |lambda: f64| l_hat(lambda, inacc, bias);
+        let grid: Vec<f64> = (0..=10).map(|i| at(i as f64 / 10.0)).collect();
+        for w in grid.windows(2) {
+            if inacc >= bias {
+                prop_assert!(w[1] >= w[0] - 1e-12, "not non-decreasing: {grid:?}");
+            } else {
+                prop_assert!(w[1] <= w[0] + 1e-12, "not non-increasing: {grid:?}");
+            }
+        }
+    }
+}

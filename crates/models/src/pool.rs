@@ -15,6 +15,7 @@ use crate::bayes::GaussianNb;
 use crate::grid::{paper_grid, TrainerKind};
 use crate::knn_model::KnnClassifier;
 use crate::linear::{LogisticParams, LogisticRegression};
+use crate::parallel::parallel_map;
 use crate::traits::{predict_dataset, Classifier};
 use crate::tree::{DecisionTree, TreeParams};
 use falcc_dataset::{Dataset, GroupId};
@@ -59,6 +60,11 @@ pub struct PoolConfig {
     pub accuracy_margin: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for grid fitting and prediction precompute
+    /// (0 = available parallelism). Results are identical for every value:
+    /// each grid point's seed is derived from its index, and outputs are
+    /// merged in grid order (see [`crate::parallel`]).
+    pub threads: usize,
 }
 
 impl Default for PoolConfig {
@@ -69,6 +75,7 @@ impl Default for PoolConfig {
             split_by_group: false,
             accuracy_margin: 1.0,
             seed: 0,
+            threads: 0,
         }
     }
 }
@@ -99,19 +106,20 @@ impl ModelPool {
         let attrs: Vec<usize> = (0..train.n_attrs()).collect();
         let all_idx: Vec<usize> = (0..train.len()).collect();
         let grid = paper_grid(cfg.trainer);
-        let candidates: Vec<Arc<dyn Classifier>> = grid
-            .iter()
-            .enumerate()
-            .map(|(i, p)| p.fit(train, &attrs, &all_idx, cfg.seed ^ (i as u64) << 8))
-            .collect();
+        // Grid points are independent: fit them in parallel. Each point's
+        // seed is a function of its grid index only, and `parallel_map`
+        // returns results in grid order, so the pool is identical for
+        // every thread count.
+        let candidates: Vec<Arc<dyn Classifier>> = parallel_map(&grid, cfg.threads, |i, p| {
+            p.fit(train, &attrs, &all_idx, cfg.seed ^ (i as u64) << 8)
+        });
 
         let keep = if cfg.pool_size == 0 || cfg.pool_size >= candidates.len() {
             (0..candidates.len()).collect()
         } else {
-            let preds: Vec<Vec<u8>> = candidates
-                .iter()
-                .map(|m| predict_dataset(m.as_ref(), diversity_eval))
-                .collect();
+            let preds: Vec<Vec<u8>> = parallel_map(&candidates, cfg.threads, |_, m| {
+                predict_dataset(m.as_ref(), diversity_eval)
+            });
             // Accuracy floor: drop candidates far behind the best one.
             let labels = diversity_eval.labels();
             let accs: Vec<f64> = preds
@@ -143,15 +151,20 @@ impl ModelPool {
             .collect();
 
         if cfg.split_by_group {
-            for g in train.group_index().ids() {
+            // Group partitions are likewise independent; seeds depend on
+            // the group id, and the ordered merge keeps the pool layout
+            // stable across thread counts.
+            let groups: Vec<GroupId> = train.group_index().ids().collect();
+            let split_models = parallel_map(&groups, cfg.threads, |_, &g| {
                 let idx = train.indices_of_group(g);
                 if idx.len() < 4 {
-                    continue; // too small to train on
+                    return None; // too small to train on
                 }
                 let point = grid[grid.len() - 1]; // strongest configuration
                 let model = point.fit(train, &attrs, &idx, cfg.seed ^ 0xbeef ^ g.0 as u64);
-                models.push(TrainedModel { model, group: Some(g) });
-            }
+                Some(TrainedModel { model, group: Some(g) })
+            });
+            models.extend(split_models.into_iter().flatten());
         }
         Self { models }
     }

@@ -37,7 +37,7 @@ fn employee_dataset(n: usize, seed: u64) -> Dataset {
     for _ in 0..n {
         let gender = u8::from(rng.gen_bool(0.5)) as f64;
         // sickLeave tracks gender (the proxy): group 1 records more days.
-        let sick_leave = (0.3 + 0.4 * gender + rng.gen_range(-0.25..0.25)).clamp(0.0, 1.0);
+        let sick_leave = (0.3 + 0.4 * gender + rng.gen_range(-0.25f64..0.25)).clamp(0.0, 1.0);
         let mgt = u8::from(rng.gen_bool(0.25)) as f64;
         let dept = rng.gen_range(0..10) as f64;
         let experience = rng.gen_range(0.0..30.0);

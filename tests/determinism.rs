@@ -1,0 +1,104 @@
+//! Thread-count invariance of the whole pipeline: fitting and batch
+//! classification must produce **bit-identical** results whether they run
+//! on 1, 2, or 8 worker threads.
+//!
+//! This is the contract of `falcc_models::parallel`: work items are pure
+//! functions of their index (seeds derived from the master seed + index,
+//! never from a thread id), and outputs merge in input order. Any
+//! violation — a racing shared RNG, a scheduling-dependent reduction — is
+//! a hard failure here, not noise.
+
+use falcc::{FairClassifier, FalccConfig, FalccModel};
+use falcc_dataset::{synthetic, SplitRatios, ThreeWaySplit};
+
+struct Fitted {
+    combos: Vec<Vec<usize>>,
+    centroid_bits: Vec<Vec<u64>>,
+    batch_preds: Vec<u8>,
+    dataset_preds: Vec<u8>,
+}
+
+fn fit_with_threads(threads: usize, split_by_group: bool) -> Fitted {
+    let ds = synthetic::social30(21).expect("generate");
+    let ds = ds.subset(&(0..1500).collect::<Vec<_>>()).expect("subset");
+    let split = ThreeWaySplit::split(&ds, SplitRatios::PAPER, 21).expect("split");
+
+    let mut cfg = FalccConfig::default();
+    cfg.scale_for_tests();
+    cfg.seed = 21;
+    cfg.threads = threads;
+    cfg.pool.split_by_group = split_by_group;
+    let model = FalccModel::fit(&split.train, &split.validation, &cfg).expect("fit");
+
+    let rows: Vec<Vec<f64>> =
+        (0..split.test.len()).map(|i| split.test.row(i).to_vec()).collect();
+    Fitted {
+        combos: (0..model.n_regions()).map(|c| model.combo(c).to_vec()).collect(),
+        // Compare centroids at the bit level: "close enough" floats would
+        // mask exactly the nondeterminism this test exists to catch.
+        centroid_bits: model
+            .centroids()
+            .iter()
+            .map(|c| c.iter().map(|v| v.to_bits()).collect())
+            .collect(),
+        batch_preds: model.classify_batch(&rows),
+        dataset_preds: model.predict_dataset(&split.test),
+    }
+}
+
+#[test]
+fn fit_and_batch_classify_are_invariant_across_thread_counts() {
+    let reference = fit_with_threads(1, false);
+    assert!(!reference.batch_preds.is_empty());
+    for threads in [2, 8] {
+        let run = fit_with_threads(threads, false);
+        assert_eq!(run.combos, reference.combos, "combos differ at {threads} threads");
+        assert_eq!(
+            run.centroid_bits, reference.centroid_bits,
+            "centroids differ at {threads} threads"
+        );
+        assert_eq!(
+            run.batch_preds, reference.batch_preds,
+            "batch predictions differ at {threads} threads"
+        );
+        assert_eq!(
+            run.dataset_preds, reference.dataset_preds,
+            "dataset predictions differ at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn split_by_group_training_is_also_invariant() {
+    // The split-training path fans out per-group fits; its per-group seeds
+    // must come from the group id, never the worker.
+    let reference = fit_with_threads(1, true);
+    for threads in [2, 8] {
+        let run = fit_with_threads(threads, true);
+        assert_eq!(run.combos, reference.combos, "combos differ at {threads} threads");
+        assert_eq!(run.batch_preds, reference.batch_preds);
+    }
+}
+
+#[test]
+fn classify_batch_equals_sequential_classification() {
+    let ds = synthetic::social30(22).expect("generate");
+    let ds = ds.subset(&(0..1200).collect::<Vec<_>>()).expect("subset");
+    let split = ThreeWaySplit::split(&ds, SplitRatios::PAPER, 22).expect("split");
+    let mut cfg = FalccConfig::default();
+    cfg.scale_for_tests();
+    cfg.seed = 22;
+    let mut model = FalccModel::fit(&split.train, &split.validation, &cfg).expect("fit");
+
+    let rows: Vec<Vec<f64>> =
+        (0..split.test.len()).map(|i| split.test.row(i).to_vec()).collect();
+    let sequential: Vec<u8> = rows.iter().map(|r| model.classify(r)).collect();
+    for threads in [0, 1, 2, 8] {
+        model.set_threads(threads);
+        assert_eq!(
+            model.classify_batch(&rows),
+            sequential,
+            "batched ≠ sequential at {threads} threads"
+        );
+    }
+}

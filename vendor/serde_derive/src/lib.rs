@@ -1,0 +1,416 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Supports the shapes this workspace serialises: structs with named
+//! fields, tuple structs, and enums whose variants are unit, tuple, or
+//! struct-like. Generics and `#[serde(...)]` attributes are not
+//! supported — the workspace uses neither. The macros parse the item's
+//! token stream directly (the offline environment has no syn/quote) and
+//! emit impl blocks for `serde::Serialize` / `serde::Deserialize` in
+//! real serde's externally-tagged wire format.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What one item declaration parses into.
+enum Item {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+/// Skips leading `#[...]` attribute pairs starting at `i`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips a `pub` / `pub(...)` visibility marker starting at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Counts top-level commas in a type list, tracking `<...>` nesting
+/// (angle brackets are plain puncts in a token stream, unlike `()`/`[]`
+/// groups which already nest).
+fn count_toplevel_fields(tokens: &[TokenTree]) -> usize {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle = 0i32;
+    let mut commas = 0usize;
+    let mut trailing_comma = false;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    commas += 1;
+                    trailing_comma = true;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        trailing_comma = false;
+    }
+    commas + usize::from(!trailing_comma)
+}
+
+/// Extracts the field names of a named-field body (brace-group tokens).
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(tokens, i);
+        i = skip_vis(tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde derive: expected field name, found `{other}`"),
+        };
+        fields.push(name);
+        i += 1;
+        // Skip `: Type` up to the next top-level comma.
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde derive: expected variant name, found `{other}`"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                VariantKind::Tuple(count_toplevel_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                VariantKind::Struct(parse_named_fields(&inner))
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        // Skip an optional discriminant and the separating comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, found `{other}`"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected item name, found `{other}`"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde derive: generic types are not supported by the offline stand-in");
+        }
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Item::NamedStruct { name, fields: parse_named_fields(&inner) }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Item::TupleStruct { name, arity: count_toplevel_fields(&inner) }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("serde derive: unsupported struct body: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Item::Enum { name, variants: parse_variants(&inner) }
+            }
+            other => panic!("serde derive: unsupported enum body: {other:?}"),
+        },
+        other => panic!("serde derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Derives `serde::Serialize` (offline stand-in).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::NamedStruct { fields, .. } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Item::TupleStruct { arity: 1, .. } => {
+            // Newtype transparency, matching real serde.
+            "::serde::Serialize::to_value(&self.0)".to_string()
+        }
+        Item::TupleStruct { arity, .. } => {
+            let entries: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", entries.join(", "))
+        }
+        Item::UnitStruct { .. } => "::serde::Value::Null".to_string(),
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vname}(f0) => ::serde::Value::Object(vec![(\"{vname}\".to_string(), ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> =
+                                (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(vec![(\"{vname}\".to_string(), ::serde::Value::Array(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(vec![(\"{vname}\".to_string(), ::serde::Value::Object(vec![{}]))]),",
+                                items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    let name = match &item {
+        Item::NamedStruct { name, .. }
+        | Item::TupleStruct { name, .. }
+        | Item::UnitStruct { name }
+        | Item::Enum { name, .. } => name,
+    };
+    let out = format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    );
+    out.parse().expect("generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` (offline stand-in).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let (name, body) = match &item {
+        Item::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(v.get(\"{f}\").unwrap_or(&::serde::Value::Null))?"
+                    )
+                })
+                .collect();
+            let body = format!(
+                "match v {{\n\
+                     ::serde::Value::Object(_) => Ok({name} {{ {} }}),\n\
+                     other => Err(::serde::DeError::expected(\"object\", other)),\n\
+                 }}",
+                inits.join(", ")
+            );
+            (name, body)
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            (name, format!("Ok({name}(::serde::Deserialize::from_value(v)?))"))
+        }
+        Item::TupleStruct { name, arity } => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            let body = format!(
+                "match v {{\n\
+                     ::serde::Value::Array(items) if items.len() == {arity} => Ok({name}({})),\n\
+                     other => Err(::serde::DeError::expected(\"array of length {arity}\", other)),\n\
+                 }}",
+                inits.join(", ")
+            );
+            (name, body)
+        }
+        Item::UnitStruct { name } => (name, format!("Ok({name})")),
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    format!("\"{vname}\" => Ok({name}::{vname}),")
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vname}\" => Ok({name}::{vname}(::serde::Deserialize::from_value(inner)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&items[{i}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => match inner {{\n\
+                                     ::serde::Value::Array(items) if items.len() == {n} => Ok({name}::{vname}({})),\n\
+                                     other => Err(::serde::DeError::expected(\"array of length {n}\", other)),\n\
+                                 }},",
+                                inits.join(", ")
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(inner.get(\"{f}\").unwrap_or(&::serde::Value::Null))?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => Ok({name}::{vname} {{ {} }}),",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            let body = format!(
+                "match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {}\n\
+                         other => Err(::serde::DeError::custom(format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                         let (tag, inner) = &fields[0];\n\
+                         match tag.as_str() {{\n\
+                             {}\n\
+                             other => Err(::serde::DeError::custom(format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => Err(::serde::DeError::expected(\"enum representation\", other)),\n\
+                 }}",
+                unit_arms.join("\n"),
+                tagged_arms.join("\n")
+            );
+            (name, body)
+        }
+    };
+    let out = format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, unused_variables)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    );
+    out.parse().expect("generated Deserialize impl must parse")
+}

@@ -1,0 +1,358 @@
+//! Offline stand-in for `serde_json`: compact JSON rendering and a
+//! recursive-descent parser over the `serde` stand-in's [`Value`] model.
+
+pub use serde::Value;
+use serde::{Deserialize, Serialize};
+
+/// Serialisation/deserialisation failure.
+#[derive(Debug, Clone)]
+pub struct Error {
+    detail: String,
+}
+
+impl Error {
+    fn new(detail: impl Into<String>) -> Self {
+        Self { detail: detail.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.detail)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialises `value` to a compact JSON string.
+///
+/// # Errors
+/// Never fails for values produced by the stand-in's `Serialize` impls;
+/// the `Result` mirrors the real API.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+/// Parses a `T` from JSON text.
+///
+/// # Errors
+/// Malformed JSON or a shape mismatch for `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let value = parse_value(s)?;
+    T::from_value(&value).map_err(|e| Error::new(e.detail))
+}
+
+/// Parses JSON text into a dynamic [`Value`].
+///
+/// # Errors
+/// Malformed JSON.
+pub fn parse_value(s: &str) -> Result<Value> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_at(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::new(format!("trailing input at byte {pos}")));
+    }
+    Ok(value)
+}
+
+fn write_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::I64(i) => out.push_str(&i.to_string()),
+        Value::U64(u) => out.push_str(&u.to_string()),
+        Value::F64(f) => {
+            if f.is_finite() {
+                // `{:?}` produces the shortest round-trippable repr and
+                // keeps a ".0" on integral floats, so the parser reads
+                // them back as floats.
+                out.push_str(&format!("{f:?}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(k, out);
+                out.push(':');
+                write_value(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<()> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(Error::new(format!("expected `{lit}` at byte {pos}", pos = *pos)))
+    }
+}
+
+fn parse_at(bytes: &[u8], pos: &mut usize) -> Result<Value> {
+    skip_ws(bytes, pos);
+    let Some(&b) = bytes.get(*pos) else {
+        return Err(Error::new("unexpected end of input"));
+    };
+    match b {
+        b'n' => expect(bytes, pos, "null").map(|()| Value::Null),
+        b't' => expect(bytes, pos, "true").map(|()| Value::Bool(true)),
+        b'f' => expect(bytes, pos, "false").map(|()| Value::Bool(false)),
+        b'"' => parse_string(bytes, pos).map(Value::Str),
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_at(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(&b',') => *pos += 1,
+                    Some(&b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error::new(format!("expected `,` or `]` at byte {}", *pos))),
+                }
+            }
+        }
+        b'{' => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, ":")?;
+                let value = parse_at(bytes, pos)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(&b',') => *pos += 1,
+                    Some(&b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(fields));
+                    }
+                    _ => return Err(Error::new(format!("expected `,` or `}}` at byte {}", *pos))),
+                }
+            }
+        }
+        b'-' | b'0'..=b'9' => parse_number(bytes, pos),
+        other => Err(Error::new(format!(
+            "unexpected byte `{}` at {}",
+            other as char, *pos
+        ))),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(Error::new(format!("expected string at byte {}", *pos)));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        let Some(&b) = bytes.get(*pos) else {
+            return Err(Error::new("unterminated string"));
+        };
+        match b {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                let Some(&esc) = bytes.get(*pos) else {
+                    return Err(Error::new("unterminated escape"));
+                };
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{0008}'),
+                    b'f' => out.push('\u{000c}'),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| Error::new("non-UTF8 \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| Error::new("invalid \\u escape"))?;
+                        *pos += 4;
+                        // Surrogate pairs are not produced by our writer;
+                        // map lone surrogates to the replacement char.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => {
+                        return Err(Error::new(format!(
+                            "invalid escape `\\{}`",
+                            other as char
+                        )))
+                    }
+                }
+            }
+            _ => {
+                // Consume one UTF-8 scalar.
+                let start = *pos;
+                let len = utf8_len(b);
+                let chunk = bytes
+                    .get(start..start + len)
+                    .ok_or_else(|| Error::new("truncated UTF-8"))?;
+                let s = std::str::from_utf8(chunk)
+                    .map_err(|_| Error::new("invalid UTF-8 in string"))?;
+                out.push_str(s);
+                *pos += len;
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| Error::new("invalid number"))?;
+    if is_float {
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::new(format!("invalid number `{text}`")))
+    } else if let Ok(i) = text.parse::<i64>() {
+        Ok(Value::I64(i))
+    } else if let Ok(u) = text.parse::<u64>() {
+        Ok(Value::U64(u))
+    } else {
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::new(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for json in ["null", "true", "false", "1", "-7", "2.5", "\"hi\""] {
+            let v = parse_value(json).unwrap();
+            assert_eq!(to_string(&v).unwrap(), json);
+        }
+    }
+
+    #[test]
+    fn integral_floats_keep_their_point() {
+        let v = Value::F64(3.0);
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, "3.0");
+        assert_eq!(parse_value(&json).unwrap(), v);
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let json = r#"{"a":[1,2.5,{"b":"x\ny"}],"c":null}"#;
+        let v = parse_value(json).unwrap();
+        assert_eq!(to_string(&v).unwrap(), json);
+    }
+
+    #[test]
+    fn typed_round_trip() {
+        let data: Vec<(u32, Option<f64>)> = vec![(1, Some(0.5)), (2, None)];
+        let json = to_string(&data).unwrap();
+        let back: Vec<(u32, Option<f64>)> = from_str(&json).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn malformed_input_errors() {
+        assert!(parse_value("{").is_err());
+        assert!(parse_value("[1,]").is_err());
+        assert!(parse_value("nul").is_err());
+        assert!(parse_value("1 2").is_err());
+        assert!(from_str::<u8>("\"x\"").is_err());
+    }
+}
