@@ -14,16 +14,26 @@ pub struct Opts {
     pub scale: f64,
     /// Output directory for CSV files.
     pub out: PathBuf,
+    /// Tiny-footprint mode for CI: shrink data and repetitions so the
+    /// binary finishes in seconds (used by `exp_kernels`).
+    pub smoke: bool,
 }
 
 impl Default for Opts {
     fn default() -> Self {
-        Self { seed: 11, runs: 4, scale: 0.10, out: PathBuf::from("bench_results") }
+        Self {
+            seed: 11,
+            runs: 4,
+            scale: 0.10,
+            out: PathBuf::from("bench_results"),
+            smoke: false,
+        }
     }
 }
 
 impl Opts {
-    /// Parses `--seed`, `--runs`, `--scale`, `--out` from the process args.
+    /// Parses `--seed`, `--runs`, `--scale`, `--out`, `--smoke` from the
+    /// process args.
     /// Unknown flags abort with a usage message — silent typos would waste
     /// long experiment runs.
     pub fn from_args() -> Self {
@@ -45,9 +55,10 @@ impl Opts {
                 "--runs" => opts.runs = parse_or_die(&value("--runs"), "--runs"),
                 "--scale" => opts.scale = parse_or_die(&value("--scale"), "--scale"),
                 "--out" => opts.out = PathBuf::from(value("--out")),
+                "--smoke" => opts.smoke = true,
                 "--help" | "-h" => {
                     println!(
-                        "flags: --seed <u64> --runs <n> --scale <0..1] --out <dir>\n\
+                        "flags: --seed <u64> --runs <n> --scale <0..1] --out <dir> --smoke\n\
                          defaults: --seed 11 --runs 4 --scale 0.10 --out bench_results"
                     );
                     std::process::exit(0);
@@ -114,6 +125,14 @@ mod tests {
         assert_eq!(o.runs, 2);
         assert!((o.scale - 0.5).abs() < 1e-12);
         assert_eq!(o.out, PathBuf::from("/tmp/x"));
+    }
+
+    #[test]
+    fn smoke_flag_takes_no_value() {
+        let o = parse(&["--smoke", "--runs", "2"]);
+        assert!(o.smoke);
+        assert_eq!(o.runs, 2);
+        assert!(!parse(&[]).smoke);
     }
 
     #[test]

@@ -1,0 +1,295 @@
+//! Naive-vs-fast timing harness for the hot numeric kernels.
+//!
+//! Every fast kernel in this codebase ships next to its naive reference
+//! implementation (presorted vs re-sorting CART, bounded vs plain Lloyd,
+//! pruned vs full distance scans). This module times both sides on the
+//! same data the runtime experiment uses and — where the fast kernel
+//! promises bit-identical output — verifies that promise on the spot.
+//! `exp_kernels` serialises the result to `BENCH_kernels.json` so the
+//! perf trajectory is tracked across PRs.
+
+use falcc_clustering::{log_means, BruteKnn, KEstimateConfig, KMeans, KdTree};
+use falcc_dataset::dataset::ProjectedMatrix;
+use falcc_dataset::{Dataset, SplitRatios, ThreeWaySplit};
+use falcc_models::{DecisionTree, TreeParams};
+use std::time::Instant;
+
+use crate::data::BenchDataset;
+
+/// One kernel's naive-vs-fast measurement.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct KernelTiming {
+    /// Kernel name (stable across PRs; used as the JSON key).
+    pub kernel: String,
+    /// Median wall-clock of the naive reference, milliseconds.
+    pub naive_ms: f64,
+    /// Median wall-clock of the fast kernel, milliseconds.
+    pub fast_ms: f64,
+    /// `naive_ms / fast_ms`.
+    pub speedup: f64,
+    /// Whether the two sides produced identical outputs on this run (for
+    /// bit-equivalent kernels this must be `true`; warm-started LOG-Means
+    /// legitimately improves its probes, see `note`).
+    pub equivalent: bool,
+    /// What was compared / why a difference is expected.
+    pub note: String,
+}
+
+/// The full benchmark envelope written to `BENCH_kernels.json`.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct KernelReport {
+    /// Dataset row-count scale the kernels ran at.
+    pub scale: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Timing repetitions per side (median taken).
+    pub reps: usize,
+    /// Number of rows in the training/validation splits used.
+    pub train_rows: usize,
+    /// Per-kernel measurements.
+    pub kernels: Vec<KernelTiming>,
+}
+
+fn median_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1_000.0
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    times[times.len() / 2]
+}
+
+fn timing(
+    kernel: &str,
+    naive_ms: f64,
+    fast_ms: f64,
+    equivalent: bool,
+    note: &str,
+) -> KernelTiming {
+    KernelTiming {
+        kernel: kernel.to_string(),
+        naive_ms,
+        fast_ms,
+        speedup: naive_ms / fast_ms.max(1e-9),
+        equivalent,
+        note: note.to_string(),
+    }
+}
+
+/// Runs every kernel comparison at `scale` (the `exp_runtime` dataset
+/// scale) and returns the report. Uses Adult (sex) — the largest Tab. 4
+/// dataset — so the numbers reflect the regime the paper's Fig. 6 cares
+/// about.
+pub fn bench_kernels(scale: f64, seed: u64, reps: usize) -> KernelReport {
+    let ds = BenchDataset::AdultSex.generate(seed, scale);
+    let split = ThreeWaySplit::split(&ds, SplitRatios::PAPER, seed).expect("split");
+    let attrs = split.train.schema().non_sensitive_attrs();
+
+    let mut kernels = Vec::new();
+    kernels.push(bench_tree(&split.train, &attrs, seed, reps));
+    let projected = split.validation.project(&attrs, None);
+    kernels.push(bench_lloyd(&projected, seed, reps));
+    kernels.push(bench_log_means(&projected, seed, reps));
+    kernels.extend(bench_knn(&split.validation, &split.test, &attrs, reps));
+    kernels.push(bench_nearest_centroid(&projected, &split.test, &attrs, seed, reps));
+
+    KernelReport { scale, seed, reps, train_rows: split.train.len(), kernels }
+}
+
+/// CART: presorted builder vs per-node re-sorting reference.
+fn bench_tree(train: &Dataset, attrs: &[usize], seed: u64, reps: usize) -> KernelTiming {
+    let indices: Vec<usize> = (0..train.len()).collect();
+    let params = TreeParams { max_depth: 12, ..TreeParams::default() };
+    let naive_ms = median_ms(reps, || {
+        std::hint::black_box(DecisionTree::fit_naive(
+            train, attrs, &indices, None, &params, seed,
+        ));
+    });
+    let fast_ms = median_ms(reps, || {
+        std::hint::black_box(DecisionTree::fit(train, attrs, &indices, None, &params, seed));
+    });
+    let fast = DecisionTree::fit(train, attrs, &indices, None, &params, seed);
+    let naive = DecisionTree::fit_naive(train, attrs, &indices, None, &params, seed);
+    timing(
+        "tree_training",
+        naive_ms,
+        fast_ms,
+        fast == naive,
+        "full tree structures compared node-for-node",
+    )
+}
+
+/// Lloyd iterations: Hamerly-bounded vs fused naive, same k.
+fn bench_lloyd(x: &ProjectedMatrix, seed: u64, reps: usize) -> KernelTiming {
+    let mut trainer = KMeans::new(16, seed);
+    trainer.bounds = false;
+    let naive_ms = median_ms(reps, || {
+        std::hint::black_box(trainer.fit(x));
+    });
+    let naive = trainer.fit(x);
+    trainer.bounds = true;
+    let fast_ms = median_ms(reps, || {
+        std::hint::black_box(trainer.fit(x));
+    });
+    let fast = trainer.fit(x);
+    let equivalent = fast.assignments == naive.assignments
+        && fast.centroids == naive.centroids
+        && fast.sse.to_bits() == naive.sse.to_bits();
+    timing(
+        "kmeans_lloyd",
+        naive_ms,
+        fast_ms,
+        equivalent,
+        "assignments, centroids and SSE compared bit-for-bit (k=16)",
+    )
+}
+
+/// LOG-Means: warm-started + bounded vs cold + naive probes.
+fn bench_log_means(x: &ProjectedMatrix, seed: u64, reps: usize) -> KernelTiming {
+    let mut cfg = KEstimateConfig::for_rows(x.n_rows, seed);
+    cfg.warm_start = false;
+    cfg.bounds = false;
+    let naive_ms = median_ms(reps, || {
+        std::hint::black_box(log_means(x, &cfg));
+    });
+    let k_naive = log_means(x, &cfg);
+    cfg.warm_start = true;
+    cfg.bounds = true;
+    let fast_ms = median_ms(reps, || {
+        std::hint::black_box(log_means(x, &cfg));
+    });
+    let k_fast = log_means(x, &cfg);
+    timing(
+        "log_means",
+        naive_ms,
+        fast_ms,
+        k_fast == k_naive,
+        &format!(
+            "bounds are bit-equivalent; warm starts may legitimately tighten \
+             probe SSEs (chose k={k_fast} vs k={k_naive} cold)"
+        ),
+    )
+}
+
+/// Batch kNN: pruned kd-tree and select-based brute-force top-k vs their
+/// unpruned / full-sort references.
+fn bench_knn(
+    validation: &Dataset,
+    test: &Dataset,
+    attrs: &[usize],
+    reps: usize,
+) -> Vec<KernelTiming> {
+    const K: usize = 10;
+    let index = validation.project(attrs, None);
+    let queries = test.project(attrs, None);
+    let n_q = queries.n_rows.min(500);
+
+    let tree = KdTree::build(index.clone());
+    let tree_naive_ms = median_ms(reps, || {
+        for i in 0..n_q {
+            std::hint::black_box(tree.nearest_reference(queries.row(i), K));
+        }
+    });
+    let tree_fast_ms = median_ms(reps, || {
+        for i in 0..n_q {
+            std::hint::black_box(tree.nearest(queries.row(i), K));
+        }
+    });
+    let tree_equiv = (0..n_q)
+        .all(|i| tree.nearest(queries.row(i), K) == tree.nearest_reference(queries.row(i), K));
+
+    let brute = BruteKnn::build(index);
+    let brute_naive_ms = median_ms(reps, || {
+        for i in 0..n_q {
+            std::hint::black_box(brute.nearest_naive(queries.row(i), K));
+        }
+    });
+    let brute_fast_ms = median_ms(reps, || {
+        for i in 0..n_q {
+            std::hint::black_box(brute.nearest(queries.row(i), K));
+        }
+    });
+    let brute_equiv = (0..n_q)
+        .all(|i| brute.nearest(queries.row(i), K) == brute.nearest_naive(queries.row(i), K));
+
+    vec![
+        timing(
+            "kdtree_knn",
+            tree_naive_ms,
+            tree_fast_ms,
+            tree_equiv,
+            &format!("{n_q} queries, k={K}, neighbour lists compared exactly"),
+        ),
+        timing(
+            "batch_knn",
+            brute_naive_ms,
+            brute_fast_ms,
+            brute_equiv,
+            &format!("brute-force top-k, {n_q} queries, k={K}, select_nth vs full sort"),
+        ),
+    ]
+}
+
+/// Online nearest-centroid match: norm-pruned vs full scan.
+fn bench_nearest_centroid(
+    x: &ProjectedMatrix,
+    test: &Dataset,
+    attrs: &[usize],
+    seed: u64,
+    reps: usize,
+) -> KernelTiming {
+    let model = KMeans::new(32, seed).fit(x);
+    let norms = model.centroid_norms();
+    let queries = test.project(attrs, None);
+    // The per-query cost is sub-microsecond; run several passes per
+    // measurement so the clock resolution doesn't dominate.
+    const PASSES: usize = 10;
+    let naive_ms = median_ms(reps, || {
+        for _ in 0..PASSES {
+            for i in 0..queries.n_rows {
+                std::hint::black_box(model.predict(queries.row(i)));
+            }
+        }
+    }) / PASSES as f64;
+    let fast_ms = median_ms(reps, || {
+        for _ in 0..PASSES {
+            for i in 0..queries.n_rows {
+                std::hint::black_box(model.predict_pruned(queries.row(i), &norms));
+            }
+        }
+    }) / PASSES as f64;
+    let equivalent = (0..queries.n_rows)
+        .all(|i| model.predict(queries.row(i)) == model.predict_pruned(queries.row(i), &norms));
+    timing(
+        "nearest_centroid",
+        naive_ms,
+        fast_ms,
+        equivalent,
+        &format!("{} online matches against k=32 centroids", queries.n_rows),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_report_is_equivalent_and_serialisable() {
+        let report = bench_kernels(0.01, 3, 1);
+        assert_eq!(report.kernels.len(), 6);
+        for k in &report.kernels {
+            assert!(k.naive_ms >= 0.0 && k.fast_ms >= 0.0, "{}", k.kernel);
+            assert!(k.speedup > 0.0, "{}", k.kernel);
+            // Every kernel except warm-started LOG-Means promises
+            // bit-identical outputs.
+            if k.kernel != "log_means" {
+                assert!(k.equivalent, "{} diverged from its reference", k.kernel);
+            }
+        }
+        let json = serde_json::to_string(&report).expect("serialise");
+        assert!(json.contains("tree_training"));
+    }
+}

@@ -12,6 +12,7 @@
 //! | `exp_proxy`     | Fig. 5 — proxy-mitigation strategies |
 //! | `exp_runtime`   | Fig. 6 — online-phase runtime |
 //! | `exp_ablation`  | extra — design-choice ablations (k estimation, pool size, λ) |
+//! | `exp_kernels`   | extra — naive-vs-fast kernel timings (`BENCH_kernels.json`) |
 //!
 //! Every binary accepts `--seed <u64>`, `--runs <n>`, `--scale <f64>` (row
 //! scaling of the emulated datasets) and `--out <dir>` and writes both a
@@ -23,10 +24,12 @@ pub mod algos;
 pub mod cli;
 pub mod data;
 pub mod eval;
+pub mod kernels;
 pub mod report;
 
 pub use algos::{fit_algorithm, Algo, FittedAlgo};
 pub use cli::Opts;
 pub use data::BenchDataset;
 pub use eval::{evaluate, reference_regions, EvalRow};
+pub use kernels::{bench_kernels, KernelReport, KernelTiming};
 pub use report::{write_csv, Table};

@@ -6,11 +6,42 @@
 //! the number of distinct points (empty clusters are re-seeded from the
 //! farthest point), and exposes the trained centroids for the online
 //! cluster-matching step.
+//!
+//! # Two Lloyd kernels, one output
+//!
+//! Each restart runs either the naive fused Lloyd loop ([`KMeans::bounds`]
+//! `== false`) or a Hamerly-style bounded loop (`true`, the default). The
+//! bounded loop keeps, per point, a deflated lower bound on the Euclidean
+//! distance to the nearest *other* centroid; while the exact distance to
+//! the assigned centroid stays below that bound, the full centroid scan is
+//! skipped. Because the exact assigned distance is still computed every
+//! iteration (it feeds the SSE/convergence accumulator in the same order),
+//! and the bound's safety margins dwarf float rounding, both kernels
+//! produce **bit-identical** assignments, centroids, and SSE — a property
+//! pinned by the equivalence proptests in `tests/kernel_equivalence.rs`.
+//!
+//! The textbook `‖x−c‖² = ‖x‖² − 2x·c + ‖c‖²` expansion is deliberately
+//! *not* used in the distance path: it changes float summation order and
+//! therefore the bits. Cached norms are instead used only for *pruning*
+//! (see [`KMeansModel::predict_pruned`]), which never changes the result.
 
 use falcc_dataset::dataset::ProjectedMatrix;
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
+
+/// Deflation applied to cached lower bounds so float rounding (relative
+/// error ~1e-14 at our dimensionalities) can never turn a pruned candidate
+/// into the true winner. Margins of 1e-10 leave four orders of magnitude
+/// of slack while costing essentially no pruning power.
+pub(crate) const LB_DEFLATE: f64 = 1.0 - 1e-10;
+/// Inflation applied to computed centroid movements (same reasoning).
+const MOVE_INFLATE: f64 = 1.0 + 1e-10;
+/// Absolute margin, scaled by the norm magnitudes, subtracted from the
+/// norm-gap prefilter in [`KMeansModel::predict_pruned`]. The gap's float
+/// error is relative to the *norms* rather than the gap itself, so a
+/// purely relative deflation would not be conservative.
+pub(crate) const NORM_GAP_MARGIN: f64 = 1e-10;
 
 /// k-means trainer configuration.
 #[derive(Debug, Clone, Copy)]
@@ -26,12 +57,16 @@ pub struct KMeans {
     pub n_init: usize,
     /// RNG seed (k-means++ sampling).
     pub seed: u64,
+    /// Use the Hamerly-style bounded Lloyd kernel. Bit-identical to the
+    /// naive kernel (see the module docs); `false` exists for the
+    /// equivalence harness and benchmarks.
+    pub bounds: bool,
 }
 
 impl KMeans {
     /// A sensible default configuration for `k` clusters.
     pub fn new(k: usize, seed: u64) -> Self {
-        Self { k, max_iter: 100, tol: 1e-6, n_init: 4, seed }
+        Self { k, max_iter: 100, tol: 1e-6, n_init: 4, seed, bounds: true }
     }
 
     /// Fits the model to the rows of `x`, keeping the best of
@@ -50,52 +85,64 @@ impl KMeans {
         best.expect("at least one restart")
     }
 
+    /// Runs a single Lloyd descent from the given initial centroids — the
+    /// warm-start entry point used by LOG-Means to reuse converged
+    /// centroids across consecutive `k` values.
+    ///
+    /// # Panics
+    /// Panics if `init` is empty, `x` has no rows, or dimensionalities
+    /// disagree.
+    pub fn fit_from(&self, x: &ProjectedMatrix, init: Vec<Vec<f64>>) -> KMeansModel {
+        assert!(!init.is_empty(), "warm start needs at least one centroid");
+        assert!(x.n_rows > 0, "cannot cluster an empty matrix");
+        assert!(
+            init.iter().all(|c| c.len() == x.n_cols),
+            "centroid dimensionality must match the matrix"
+        );
+        self.lloyd(x, init)
+    }
+
     fn fit_once(&self, x: &ProjectedMatrix, seed: u64) -> KMeansModel {
         assert!(self.k > 0, "k must be positive");
         assert!(x.n_rows > 0, "cannot cluster an empty matrix");
         let k = self.k.min(x.n_rows);
-        let d = x.n_cols;
         let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let centroids = plus_plus_init(x, k, &mut rng);
+        self.lloyd(x, centroids)
+    }
 
-        let mut centroids = plus_plus_init(x, k, &mut rng);
+    fn lloyd(&self, x: &ProjectedMatrix, centroids: Vec<Vec<f64>>) -> KMeansModel {
+        if self.bounds {
+            self.lloyd_bounded(x, centroids)
+        } else {
+            self.lloyd_naive(x, centroids)
+        }
+    }
+
+    /// Reference kernel: one fused pass per iteration computes the
+    /// assignment *and* accumulates the per-cluster sums/counts, instead
+    /// of materialising each row twice.
+    fn lloyd_naive(&self, x: &ProjectedMatrix, mut centroids: Vec<Vec<f64>>) -> KMeansModel {
+        let k = centroids.len();
+        let d = x.n_cols;
         let mut assignments = vec![0usize; x.n_rows];
         let mut sse = f64::INFINITY;
 
         for _ in 0..self.max_iter {
-            // Assignment step.
             let mut new_sse = 0.0;
-            for (i, slot) in assignments.iter_mut().enumerate() {
-                let (c, dist) = nearest_centroid(x.row(i), &centroids);
-                *slot = c;
-                new_sse += dist;
-            }
-            // Update step.
             let mut sums = vec![0.0f64; k * d];
             let mut counts = vec![0usize; k];
-            for (i, &c) in assignments.iter().enumerate() {
+            for (i, slot) in assignments.iter_mut().enumerate() {
+                let row = x.row(i);
+                let (c, dist) = nearest_centroid(row, &centroids);
+                *slot = c;
+                new_sse += dist;
                 counts[c] += 1;
-                for (j, v) in x.row(i).iter().enumerate() {
+                for (j, v) in row.iter().enumerate() {
                     sums[c * d + j] += v;
                 }
             }
-            for c in 0..k {
-                if counts[c] == 0 {
-                    // Re-seed an empty cluster from the point farthest from
-                    // its centroid, the standard fix for collapse.
-                    let far = (0..x.n_rows)
-                        .max_by(|&a, &b| {
-                            let da = sq_dist(x.row(a), &centroids[assignments[a]]);
-                            let db = sq_dist(x.row(b), &centroids[assignments[b]]);
-                            da.partial_cmp(&db).expect("distances are finite")
-                        })
-                        .expect("non-empty matrix");
-                    centroids[c] = x.row(far).to_vec();
-                } else {
-                    for j in 0..d {
-                        centroids[c][j] = sums[c * d + j] / counts[c] as f64;
-                    }
-                }
-            }
+            apply_update(x, &assignments, &sums, &counts, &mut centroids, None);
             // Convergence check on relative SSE improvement.
             let converged =
                 sse.is_finite() && (sse - new_sse).abs() <= self.tol * sse.max(1e-12);
@@ -105,15 +152,140 @@ impl KMeans {
             }
         }
 
-        // Final consistent assignment against the final centroids.
-        let mut final_sse = 0.0;
-        for (i, slot) in assignments.iter_mut().enumerate() {
-            let (c, dist) = nearest_centroid(x.row(i), &centroids);
-            *slot = c;
-            final_sse += dist;
-        }
-        KMeansModel { centroids, assignments, sse: final_sse }
+        finalize(x, centroids, assignments)
     }
+
+    /// Bounded kernel: per point, `lb[i]` is a (deflated) lower bound on
+    /// the Euclidean distance to the nearest centroid *other than* the
+    /// assigned one. The exact squared distance to the assigned centroid
+    /// is recomputed each iteration — it feeds the SSE accumulator in the
+    /// same order as the naive kernel — and whenever its root stays below
+    /// `lb[i]` the assigned centroid is provably the unique strict argmin,
+    /// so the O(k·d) scan is skipped. After each centroid update the
+    /// bounds decay by the largest (inflated) centroid movement — or the
+    /// second largest for points assigned to the most-moved centroid.
+    fn lloyd_bounded(&self, x: &ProjectedMatrix, mut centroids: Vec<Vec<f64>>) -> KMeansModel {
+        let k = centroids.len();
+        let d = x.n_cols;
+        let mut assignments = vec![0usize; x.n_rows];
+        let mut lb = vec![0.0f64; x.n_rows]; // forces a full scan first time
+        let mut movements = vec![0.0f64; k];
+        let mut sse = f64::INFINITY;
+
+        for _ in 0..self.max_iter {
+            let mut new_sse = 0.0;
+            let mut sums = vec![0.0f64; k * d];
+            let mut counts = vec![0usize; k];
+            for (i, slot) in assignments.iter_mut().enumerate() {
+                let row = x.row(i);
+                let d_assigned = sq_dist(row, &centroids[*slot]);
+                let (c, dist) = if d_assigned.sqrt() < lb[i] {
+                    (*slot, d_assigned)
+                } else {
+                    let (c, d1, d2) = nearest_two(row, &centroids);
+                    lb[i] = d2.sqrt() * LB_DEFLATE;
+                    (c, d1)
+                };
+                *slot = c;
+                new_sse += dist;
+                counts[c] += 1;
+                for (j, v) in row.iter().enumerate() {
+                    sums[c * d + j] += v;
+                }
+            }
+            apply_update(x, &assignments, &sums, &counts, &mut centroids, Some(&mut movements));
+            // Decay the bounds: any other centroid can have approached a
+            // point by at most the largest movement among centroids other
+            // than the assigned one (conservatively: the global largest,
+            // or the runner-up when the assigned centroid is the largest).
+            let (max_c, max1, max2) = top_two_movements(&movements);
+            for (i, b) in lb.iter_mut().enumerate() {
+                *b -= if assignments[i] == max_c { max2 } else { max1 };
+            }
+            let converged =
+                sse.is_finite() && (sse - new_sse).abs() <= self.tol * sse.max(1e-12);
+            sse = new_sse;
+            if converged {
+                break;
+            }
+        }
+
+        finalize(x, centroids, assignments)
+    }
+}
+
+/// Moves each centroid to the mean of its assigned points; empty clusters
+/// are re-seeded from the point farthest from its centroid (the standard
+/// collapse fix), intentionally observing the partially updated centroid
+/// list exactly as the reference kernel always has. When `movements` is
+/// given, it receives each centroid's (inflated) Euclidean displacement.
+fn apply_update(
+    x: &ProjectedMatrix,
+    assignments: &[usize],
+    sums: &[f64],
+    counts: &[usize],
+    centroids: &mut [Vec<f64>],
+    mut movements: Option<&mut Vec<f64>>,
+) {
+    let k = centroids.len();
+    let d = x.n_cols;
+    let mut old = Vec::new();
+    for c in 0..k {
+        if movements.is_some() {
+            old.clear();
+            old.extend_from_slice(&centroids[c]);
+        }
+        if counts[c] == 0 {
+            let far = (0..x.n_rows)
+                .max_by(|&a, &b| {
+                    let da = sq_dist(x.row(a), &centroids[assignments[a]]);
+                    let db = sq_dist(x.row(b), &centroids[assignments[b]]);
+                    da.partial_cmp(&db).expect("distances are finite")
+                })
+                .expect("non-empty matrix");
+            centroids[c] = x.row(far).to_vec();
+        } else {
+            for j in 0..d {
+                centroids[c][j] = sums[c * d + j] / counts[c] as f64;
+            }
+        }
+        if let Some(mv) = movements.as_deref_mut() {
+            mv[c] = sq_dist(&old, &centroids[c]).sqrt() * MOVE_INFLATE;
+        }
+    }
+}
+
+/// Final consistent assignment against the final centroids.
+fn finalize(
+    x: &ProjectedMatrix,
+    centroids: Vec<Vec<f64>>,
+    mut assignments: Vec<usize>,
+) -> KMeansModel {
+    let mut final_sse = 0.0;
+    for (i, slot) in assignments.iter_mut().enumerate() {
+        let (c, dist) = nearest_centroid(x.row(i), &centroids);
+        *slot = c;
+        final_sse += dist;
+    }
+    KMeansModel { centroids, assignments, sse: final_sse }
+}
+
+/// Largest and second-largest centroid movements, with the index of the
+/// largest. With a single centroid the runner-up is 0.
+fn top_two_movements(movements: &[f64]) -> (usize, f64, f64) {
+    let mut max_c = 0;
+    let mut max1 = f64::NEG_INFINITY;
+    let mut max2 = 0.0;
+    for (c, &m) in movements.iter().enumerate() {
+        if m > max1 {
+            max2 = if max1.is_finite() { max1 } else { 0.0 };
+            max1 = m;
+            max_c = c;
+        } else if m > max2 {
+            max2 = m;
+        }
+    }
+    (max_c, max1.max(0.0), max2)
 }
 
 /// A trained k-means model.
@@ -146,6 +318,54 @@ impl KMeansModel {
             "point dimensionality must match centroids"
         );
         nearest_centroid(point, &self.centroids).0
+    }
+
+    /// Euclidean norms of the centroids, computed once per fitted model
+    /// and fed to [`Self::predict_pruned`] by the online serving path.
+    pub fn centroid_norms(&self) -> Vec<f64> {
+        self.centroids
+            .iter()
+            .map(|c| c.iter().map(|v| v * v).sum::<f64>().sqrt())
+            .collect()
+    }
+
+    /// [`Self::predict`] with two exactness-preserving prunes: a cached
+    /// norm-gap prefilter (`(‖p‖−‖c‖)² ≤ ‖p−c‖²`, conservatively
+    /// margined) that skips hopeless centroids without touching their
+    /// coordinates, and an early-exit distance loop that abandons a
+    /// candidate as soon as its partial sum reaches the incumbent (prefix
+    /// sums of nonnegative rounded terms are nondecreasing, so the full
+    /// sum could not have won). Returns exactly `self.predict(point)`.
+    ///
+    /// # Panics
+    /// Panics if `point` or `centroid_norms` have the wrong length.
+    pub fn predict_pruned(&self, point: &[f64], centroid_norms: &[f64]) -> usize {
+        assert_eq!(
+            point.len(),
+            self.centroids[0].len(),
+            "point dimensionality must match centroids"
+        );
+        assert_eq!(centroid_norms.len(), self.k(), "one cached norm per centroid");
+        let p_norm = point.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let mut best = (0usize, f64::INFINITY);
+        for (c, centroid) in self.centroids.iter().enumerate() {
+            if best.1.is_finite() {
+                let gap = (p_norm - centroid_norms[c]).abs()
+                    - NORM_GAP_MARGIN * (p_norm + centroid_norms[c]);
+                if gap > 0.0 && gap * gap * LB_DEFLATE >= best.1 {
+                    continue;
+                }
+            }
+            // Plain strict-improvement scan: at FALCC's projection widths
+            // the per-chunk cutoff branch of `sq_dist_within` costs more
+            // than the arithmetic it saves, and `d < best` is the same
+            // test the early exit performs.
+            let d = sq_dist(point, centroid);
+            if d < best.1 {
+                best = (c, d);
+            }
+        }
+        best.0
     }
 
     /// Per-cluster row-index lists (into the training matrix).
@@ -189,9 +409,56 @@ fn plus_plus_init(x: &ProjectedMatrix, k: usize, rng: &mut StdRng) -> Vec<Vec<f6
     centroids
 }
 
+/// Extends a centroid set to `k` centroids by repeatedly adding the row
+/// farthest from its nearest centroid (deterministic farthest-point
+/// traversal) — used to adapt warm-start centroids across `k` values.
+pub fn extend_centroids(x: &ProjectedMatrix, mut centroids: Vec<Vec<f64>>, k: usize) -> Vec<Vec<f64>> {
+    assert!(!centroids.is_empty(), "need at least one centroid to extend");
+    let mut min_dist: Vec<f64> = (0..x.n_rows)
+        .map(|i| {
+            centroids
+                .iter()
+                .map(|c| sq_dist(x.row(i), c))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect();
+    while centroids.len() < k.min(x.n_rows.max(1)) {
+        let far = (0..x.n_rows)
+            .max_by(|&a, &b| min_dist[a].partial_cmp(&min_dist[b]).expect("finite"))
+            .expect("non-empty matrix");
+        let c = x.row(far).to_vec();
+        for (i, md) in min_dist.iter_mut().enumerate() {
+            *md = md.min(sq_dist(x.row(i), &c));
+        }
+        centroids.push(c);
+    }
+    centroids
+}
+
 #[inline]
-fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+pub(crate) fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Squared distance with an early exit: returns `None` as soon as a
+/// partial prefix reaches `cutoff`. Because the summands are nonnegative
+/// and round-to-nearest is monotone, prefix sums never decrease, so
+/// `None` proves the fully-summed distance would satisfy `d >= cutoff` —
+/// and a `Some(d)` is summed in exactly [`sq_dist`]'s order, so callers
+/// that update a strict incumbent get **bit-identical** results to a
+/// full-scan argmin.
+#[inline]
+pub(crate) fn sq_dist_within(a: &[f64], b: &[f64], cutoff: f64) -> Option<f64> {
+    let mut acc = 0.0;
+    for (ca, cb) in a.chunks(8).zip(b.chunks(8)) {
+        for (x, y) in ca.iter().zip(cb) {
+            acc += (x - y) * (x - y);
+        }
+        if acc >= cutoff {
+            return None;
+        }
+    }
+    Some(acc)
 }
 
 #[inline]
@@ -204,6 +471,25 @@ fn nearest_centroid(point: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
         }
     }
     best
+}
+
+/// Full scan returning the strict argmin (same tie-break as
+/// [`nearest_centroid`]: lowest index wins) plus the runner-up distance,
+/// which seeds the Hamerly lower bound.
+#[inline]
+fn nearest_two(point: &[f64], centroids: &[Vec<f64>]) -> (usize, f64, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    let mut second = f64::INFINITY;
+    for (c, centroid) in centroids.iter().enumerate() {
+        let d = sq_dist(point, centroid);
+        if d < best.1 {
+            second = best.1;
+            best = (c, d);
+        } else if d < second {
+            second = d;
+        }
+    }
+    (best.0, best.1, second)
 }
 
 #[cfg(test)]
@@ -270,6 +556,56 @@ mod tests {
         let b = KMeans::new(2, 42).fit(&x);
         assert_eq!(a.assignments, b.assignments);
         assert_eq!(a.centroids, b.centroids);
+    }
+
+    #[test]
+    fn bounded_kernel_is_bit_identical_to_naive() {
+        for seed in 0..4u64 {
+            let x = blobs(40, &[(0.0, 0.0), (4.0, 4.0), (8.0, 0.0), (4.0, -4.0)], 1.5, seed);
+            for k in [1, 2, 3, 5, 8] {
+                let mut cfg = KMeans::new(k, seed.wrapping_mul(31) + 1);
+                cfg.bounds = true;
+                let fast = cfg.fit(&x);
+                cfg.bounds = false;
+                let naive = cfg.fit(&x);
+                assert_eq!(fast.assignments, naive.assignments, "k={k} seed={seed}");
+                assert_eq!(fast.centroids, naive.centroids, "k={k} seed={seed}");
+                assert_eq!(fast.sse.to_bits(), naive.sse.to_bits(), "k={k} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn predict_pruned_matches_predict() {
+        let x = blobs(30, &[(0.0, 0.0), (6.0, 6.0), (0.0, 6.0)], 1.2, 6);
+        let model = KMeans::new(3, 5).fit(&x);
+        let norms = model.centroid_norms();
+        for i in 0..x.n_rows {
+            let p = x.row(i);
+            assert_eq!(model.predict_pruned(p, &norms), model.predict(p));
+        }
+        for probe in [[0.0, 0.0], [3.0, 3.0], [6.0, 6.0], [-2.0, 8.0]] {
+            assert_eq!(model.predict_pruned(&probe, &norms), model.predict(&probe));
+        }
+    }
+
+    #[test]
+    fn warm_start_from_converged_centroids_keeps_sse() {
+        let x = blobs(30, &[(0.0, 0.0), (7.0, 7.0)], 0.8, 8);
+        let cold = KMeans::new(2, 9).fit(&x);
+        let warm = KMeans::new(2, 9).fit_from(&x, cold.centroids.clone());
+        assert!(warm.sse <= cold.sse + 1e-9, "warm {} vs cold {}", warm.sse, cold.sse);
+    }
+
+    #[test]
+    fn extend_centroids_reaches_requested_k() {
+        let x = blobs(20, &[(0.0, 0.0), (5.0, 5.0), (9.0, 1.0)], 0.5, 10);
+        let base = KMeans::new(2, 3).fit(&x);
+        let extended = extend_centroids(&x, base.centroids.clone(), 5);
+        assert_eq!(extended.len(), 5);
+        // The first two are the originals, untouched.
+        assert_eq!(extended[0], base.centroids[0]);
+        assert_eq!(extended[1], base.centroids[1]);
     }
 
     #[test]

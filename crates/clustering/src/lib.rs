@@ -17,5 +17,5 @@ pub mod kmeans;
 pub mod knn;
 
 pub use estimate::{elbow_k, log_means, KEstimateConfig};
-pub use kmeans::{KMeans, KMeansModel};
-pub use knn::KdTree;
+pub use kmeans::{extend_centroids, KMeans, KMeansModel};
+pub use knn::{BruteKnn, KdTree};

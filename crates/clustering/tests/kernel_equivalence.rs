@@ -1,0 +1,115 @@
+//! Proof-of-equivalence suite for the clustering fast paths: the bounded
+//! Lloyd kernel, the norm-pruned nearest-centroid scan, the select-based
+//! brute-force top-k, and the norm-pruned kd-tree search must all return
+//! *bit-identical* results to their naive references on arbitrary data.
+//!
+//! These complement the unit tests inside the crate: proptest drives the
+//! geometry into the regimes where a sloppy bound would flip a result —
+//! duplicated points (distance ties), near-equal norms (prefilter
+//! margins), and degenerate k.
+
+use falcc_clustering::{log_means, BruteKnn, KEstimateConfig, KMeans, KdTree};
+use falcc_dataset::dataset::ProjectedMatrix;
+use proptest::prelude::*;
+
+/// Matrix with values drawn from a coarse grid so exact duplicate points
+/// and exact distance ties occur regularly.
+fn tied_matrix() -> impl Strategy<Value = ProjectedMatrix> {
+    (6usize..60, 1usize..5).prop_flat_map(|(n, d)| {
+        prop::collection::vec(-8i8..=8, n * d).prop_map(move |grid| ProjectedMatrix {
+            data: grid.into_iter().map(|v| f64::from(v) * 0.25).collect(),
+            n_cols: d,
+            n_rows: n,
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bounded_lloyd_is_bit_identical(x in tied_matrix(), k in 1usize..9,
+                                      seed in 0u64..500) {
+        let mut trainer = KMeans::new(k, seed);
+        trainer.bounds = false;
+        let naive = trainer.fit(&x);
+        trainer.bounds = true;
+        let fast = trainer.fit(&x);
+        prop_assert_eq!(&fast.assignments, &naive.assignments);
+        prop_assert_eq!(&fast.centroids, &naive.centroids);
+        prop_assert_eq!(fast.sse.to_bits(), naive.sse.to_bits());
+    }
+
+    #[test]
+    fn predict_pruned_is_bit_identical(x in tied_matrix(), k in 1usize..9,
+                                       seed in 0u64..500) {
+        let model = KMeans::new(k, seed).fit(&x);
+        let norms = model.centroid_norms();
+        for i in 0..x.n_rows {
+            prop_assert_eq!(
+                model.predict_pruned(x.row(i), &norms),
+                model.predict(x.row(i))
+            );
+        }
+    }
+
+    #[test]
+    fn brute_knn_select_equals_full_sort(x in tied_matrix(), k in 1usize..12) {
+        let index = BruteKnn::build(x.clone());
+        for i in 0..x.n_rows {
+            prop_assert_eq!(
+                index.nearest(x.row(i), k),
+                index.nearest_naive(x.row(i), k)
+            );
+        }
+    }
+
+    #[test]
+    fn kdtree_pruned_equals_reference(x in tied_matrix(), k in 1usize..12) {
+        let tree = KdTree::build(x.clone());
+        for i in 0..x.n_rows {
+            prop_assert_eq!(
+                tree.nearest(x.row(i), k),
+                tree.nearest_reference(x.row(i), k)
+            );
+        }
+    }
+
+    #[test]
+    fn kdtree_filtered_matches_brute_force_filter(x in tied_matrix(),
+                                                  k in 1usize..8,
+                                                  modulo in 2usize..4) {
+        // On exact distance ties the kd-tree keeps whichever point its
+        // traversal reached first, so neighbour *identities* can differ
+        // from a global index-ordered ranking — but the distance profile
+        // cannot, the filter must hold, and each reported distance must be
+        // the true distance to that point.
+        let tree = KdTree::build(x.clone());
+        let brute = BruteKnn::build(x.clone());
+        for i in 0..x.n_rows.min(20) {
+            let filtered = tree.nearest_filtered(x.row(i), k, |j| j % modulo == 0);
+            let mut reference = brute.nearest_naive(x.row(i), x.n_rows);
+            reference.retain(|&(j, _)| j % modulo == 0);
+            reference.truncate(k);
+            let dist_profile: Vec<f64> = filtered.iter().map(|&(_, d)| d).collect();
+            let expected: Vec<f64> = reference.iter().map(|&(_, d)| d).collect();
+            prop_assert_eq!(dist_profile, expected);
+            for &(j, d) in &filtered {
+                prop_assert!(j % modulo == 0, "filter violated for {j}");
+                let truth: f64 = x.row(i).iter().zip(x.row(j))
+                    .map(|(a, b)| (a - b) * (a - b)).sum();
+                prop_assert_eq!(d.to_bits(), truth.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn warm_started_log_means_is_deterministic_and_in_range(
+        x in tied_matrix(), seed in 0u64..200,
+    ) {
+        let cfg = KEstimateConfig::for_rows(x.n_rows, seed);
+        let k = log_means(&x, &cfg);
+        prop_assert_eq!(log_means(&x, &cfg), k);
+        prop_assert!(k >= 1 && k <= x.n_rows);
+    }
+}

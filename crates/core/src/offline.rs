@@ -31,6 +31,10 @@ pub struct FalccModel {
     /// time; a throughput knob only — predictions are identical for every
     /// value.
     pub(crate) threads: usize,
+    /// Euclidean norm of each centroid, cached once per fitted model for
+    /// the online nearest-centroid prune. Derived state — recomputed on
+    /// restore, never serialised.
+    pub(crate) centroid_norms: Vec<f64>,
 }
 
 impl FalccModel {
@@ -196,6 +200,7 @@ impl FalccModel {
             candidates[chosen].clone()
         });
 
+        let centroid_norms = kmeans.centroid_norms();
         Ok(Self {
             schema: validation.schema().clone(),
             pool,
@@ -206,6 +211,7 @@ impl FalccModel {
             loss: config.loss,
             name: "FALCC".to_string(),
             threads: config.threads,
+            centroid_norms,
         })
     }
 
@@ -261,6 +267,10 @@ impl FalccModel {
 
     pub(crate) fn kmeans(&self) -> &KMeansModel {
         &self.kmeans
+    }
+
+    pub(crate) fn centroid_norms(&self) -> &[f64] {
+        &self.centroid_norms
     }
 
     pub(crate) fn group_index(&self) -> &falcc_dataset::GroupIndex {

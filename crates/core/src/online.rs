@@ -16,7 +16,10 @@ impl FalccModel {
     /// bias on the test set with FALCC's own regions.
     pub fn assign_region(&self, row: &[f64]) -> usize {
         let projected = self.proxy_outcome().project_row(row);
-        self.kmeans().predict(&projected)
+        // Norm-pruned nearest-centroid match: bit-identical to
+        // `kmeans().predict(..)` (see the clustering crate's kmeans docs),
+        // just cheaper per sample.
+        self.kmeans().predict_pruned(&projected, self.centroid_norms())
     }
 
     /// The full online phase for one sample.
@@ -25,11 +28,21 @@ impl FalccModel {
     /// Panics if the row's sensitive values are outside the declared
     /// domains (callers classify samples drawn from the same schema).
     pub fn classify(&self, row: &[f64]) -> u8 {
+        let projected = self.proxy_outcome().project_row(row);
+        self.classify_projected(row, &projected)
+    }
+
+    /// Classification of one sample whose projection is already computed —
+    /// the batch paths project a whole batch into one flat buffer and feed
+    /// each row's slice here, instead of allocating one projection per
+    /// call. The projection arithmetic is identical either way, so so is
+    /// the prediction.
+    fn classify_projected(&self, row: &[f64], projected: &[f64]) -> u8 {
         let group = self
             .group_index()
             .group_of(row)
             .expect("sample's sensitive attributes must be in-domain");
-        let cluster = self.assign_region(row);
+        let cluster = self.kmeans().predict_pruned(projected, self.centroid_norms());
         let model_idx = self.combo(cluster)[group.index()];
         self.pool().models[model_idx].model.predict_row(row)
     }
@@ -47,7 +60,15 @@ impl FalccModel {
     /// As [`Self::classify`], if a row's sensitive values are
     /// out-of-domain.
     pub fn classify_batch(&self, rows: &[Vec<f64>]) -> Vec<u8> {
-        parallel_map_range(rows.len(), self.threads(), |i| self.classify(&rows[i]))
+        let proxy = self.proxy_outcome();
+        let projected = falcc_dataset::Dataset::project_rows(
+            rows,
+            &proxy.attrs,
+            proxy.weights.as_deref(),
+        );
+        parallel_map_range(rows.len(), self.threads(), |i| {
+            self.classify_projected(&rows[i], projected.row(i))
+        })
     }
 }
 
@@ -61,9 +82,14 @@ impl FairClassifier for FalccModel {
     }
 
     /// Batched override of the default row-by-row loop: same results
-    /// (ordered merge, no per-thread state), higher throughput.
+    /// (ordered merge, no per-thread state, one batch-level projection
+    /// buffer instead of one allocation per sample), higher throughput.
     fn predict_dataset(&self, ds: &falcc_dataset::Dataset) -> Vec<u8> {
-        parallel_map_range(ds.len(), self.threads(), |i| self.classify(ds.row(i)))
+        let proxy = self.proxy_outcome();
+        let projected = ds.project(&proxy.attrs, proxy.weights.as_deref());
+        parallel_map_range(ds.len(), self.threads(), |i| {
+            self.classify_projected(ds.row(i), projected.row(i))
+        })
     }
 }
 

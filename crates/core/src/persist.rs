@@ -89,6 +89,9 @@ impl SavedFalccModel {
             .into_iter()
             .map(|(spec, group)| TrainedModel { model: spec.into_classifier(), group })
             .collect();
+        // Derived caches are rebuilt, not deserialised, so snapshots stay
+        // format-stable across cache changes.
+        let centroid_norms = self.kmeans.centroid_norms();
         FalccModel {
             schema: self.schema,
             pool: ModelPool::from_models(models),
@@ -101,6 +104,7 @@ impl SavedFalccModel {
             threads: 0,
             loss: self.loss,
             name: self.name,
+            centroid_norms,
         }
     }
 

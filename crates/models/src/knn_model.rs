@@ -53,8 +53,17 @@ impl Classifier for KnnClassifier {
     }
 
     fn predict_proba_row(&self, row: &[f64]) -> f64 {
-        let query: Vec<f64> = self.attrs.iter().map(|&a| row[a]).collect();
-        let neighbors = self.tree.nearest(&query, self.k);
+        // When the trained attributes are the identity prefix (the common
+        // "all features" configuration) the row can be sliced directly,
+        // skipping a per-call query allocation.
+        let identity = self.attrs.len() <= row.len()
+            && self.attrs.iter().enumerate().all(|(i, &a)| a == i);
+        let neighbors = if identity {
+            self.tree.nearest(&row[..self.attrs.len()], self.k)
+        } else {
+            let query: Vec<f64> = self.attrs.iter().map(|&a| row[a]).collect();
+            self.tree.nearest(&query, self.k)
+        };
         if neighbors.is_empty() {
             return 0.5;
         }

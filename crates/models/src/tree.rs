@@ -5,6 +5,22 @@
 //! subsampling), mirroring scikit-learn's `DecisionTreeClassifier` in the
 //! parameters the paper's grid search varies: maximum depth and the
 //! splitting criterion (gini or entropy).
+//!
+//! Two builders produce **bit-identical** trees:
+//!
+//! * [`DecisionTree::fit`] — the production *presorted* builder: every
+//!   candidate feature's sample order is sorted **once** per tree
+//!   (O(d·n log n)) and threaded through the recursion by stable
+//!   partitioning, so each node costs O(d·m) instead of O(d·m log m).
+//! * [`DecisionTree::fit_naive`] — the textbook builder that re-sorts at
+//!   every node; kept as the reference implementation for the
+//!   proof-of-equivalence harness and the kernel benchmarks.
+//!
+//! Equivalence holds exactly (not just approximately) because both
+//! builders visit candidate splits in the same order with the same
+//! floating-point summation sequence: stable sorts and *fully stable*
+//! partitions keep tied feature values in original-slot order in both
+//! paths, so every weight prefix sum accumulates in the same order.
 
 use crate::traits::Classifier;
 use falcc_dataset::{AttrId, Dataset};
@@ -71,23 +87,38 @@ impl Default for TreeParams {
     }
 }
 
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 enum Node {
     Leaf { proba: f64 },
     Split { attr: AttrId, threshold: f64, left: u32, right: u32 },
 }
 
 /// A trained CART decision tree.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct DecisionTree {
     nodes: Vec<Node>,
     name: String,
+}
+
+fn check_fit_inputs(attrs: &[AttrId], indices: &[usize], weights: Option<&[f64]>) {
+    assert!(!indices.is_empty(), "cannot fit a tree on zero samples");
+    assert!(!attrs.is_empty(), "cannot fit a tree on zero features");
+    if let Some(w) = weights {
+        assert_eq!(w.len(), indices.len(), "one weight per training sample");
+    }
+}
+
+fn tree_name(params: &TreeParams) -> String {
+    format!("cart[d={},{}]", params.max_depth, params.criterion.short_name())
 }
 
 impl DecisionTree {
     /// Fits a tree on the rows of `ds` selected by `indices`, using only
     /// the attributes in `attrs`. `weights`, when given, is parallel to
     /// `indices`.
+    ///
+    /// Uses the presorted builder; [`Self::fit_naive`] produces a
+    /// bit-identical tree by re-sorting at every node.
     ///
     /// # Panics
     /// Panics if `indices` is empty, `attrs` is empty, or `weights` has the
@@ -100,11 +131,28 @@ impl DecisionTree {
         params: &TreeParams,
         seed: u64,
     ) -> Self {
-        assert!(!indices.is_empty(), "cannot fit a tree on zero samples");
-        assert!(!attrs.is_empty(), "cannot fit a tree on zero features");
-        if let Some(w) = weights {
-            assert_eq!(w.len(), indices.len(), "one weight per training sample");
-        }
+        check_fit_inputs(attrs, indices, weights);
+        let mut builder = FastBuilder::new(ds, attrs, indices, weights, params, seed);
+        builder.build(0, indices.len(), 0);
+        Self { nodes: builder.nodes, name: tree_name(params) }
+    }
+
+    /// Reference implementation of [`Self::fit`]: the textbook CART loop
+    /// that re-sorts the node's samples for every candidate feature at
+    /// every node. Kept for the equivalence proptests and the
+    /// `exp_kernels` benchmark; produces a bit-identical tree.
+    ///
+    /// # Panics
+    /// Same conditions as [`Self::fit`].
+    pub fn fit_naive(
+        ds: &Dataset,
+        attrs: &[AttrId],
+        indices: &[usize],
+        weights: Option<&[f64]>,
+        params: &TreeParams,
+        seed: u64,
+    ) -> Self {
+        check_fit_inputs(attrs, indices, weights);
         let owned_weights: Vec<f64> = match weights {
             Some(w) => w.to_vec(),
             None => vec![1.0; indices.len()],
@@ -120,14 +168,7 @@ impl DecisionTree {
         let mut items: Vec<(usize, f64)> =
             indices.iter().copied().zip(owned_weights).collect();
         builder.build(&mut items, 0);
-        Self {
-            nodes: builder.nodes,
-            name: format!(
-                "cart[d={},{}]",
-                params.max_depth,
-                params.criterion.short_name()
-            ),
-        }
+        Self { nodes: builder.nodes, name: tree_name(params) }
     }
 
     /// Number of nodes (diagnostics).
@@ -267,29 +308,250 @@ impl Builder<'_> {
     }
 
     fn candidate_features(&mut self) -> Vec<AttrId> {
-        match self.params.max_features {
-            Some(m) if m < self.attrs.len() => {
-                let mut pool: Vec<AttrId> = self.attrs.to_vec();
-                pool.shuffle(&mut self.rng);
-                pool.truncate(m.max(1));
-                pool
-            }
-            _ => self.attrs.to_vec(),
-        }
+        sample_candidates(self.attrs, self.params.max_features, &mut self.rng)
     }
 }
 
-/// Stable partition: moves items satisfying `pred` to the front, returns
-/// the boundary.
+/// Per-node candidate features, shared by both builders so they consume
+/// the RNG identically: all attributes, or a shuffled subset of
+/// `max_features` (random-forest style).
+fn sample_candidates(
+    attrs: &[AttrId],
+    max_features: Option<usize>,
+    rng: &mut StdRng,
+) -> Vec<AttrId> {
+    match max_features {
+        Some(m) if m < attrs.len() => {
+            let mut pool: Vec<AttrId> = attrs.to_vec();
+            pool.shuffle(rng);
+            pool.truncate(m.max(1));
+            pool
+        }
+        _ => attrs.to_vec(),
+    }
+}
+
+/// Fully stable partition: moves items satisfying `pred` to the front,
+/// preserving the relative order of **both** sides, and returns the
+/// boundary. Full stability is what makes the presorted builder's
+/// summation order provably equal to the naive builder's.
 fn partition<T: Copy>(items: &mut [T], mut pred: impl FnMut(&T) -> bool) -> usize {
+    let mut right: Vec<T> = Vec::new();
     let mut store = 0;
     for i in 0..items.len() {
-        if pred(&items[i]) {
-            items.swap(store, i);
+        let item = items[i];
+        if pred(&item) {
+            items[store] = item;
             store += 1;
+        } else {
+            right.push(item);
         }
     }
+    items[store..].copy_from_slice(&right);
     store
+}
+
+/// The presorted CART builder behind [`DecisionTree::fit`].
+///
+/// Sample "slots" are positions into the caller's `indices`; per candidate
+/// attribute the slots are sorted by value **once**, and every node owns a
+/// contiguous segment `[lo, hi)` of all per-attribute orders plus the
+/// naive builder's item order. Splitting a node stably partitions each of
+/// those arrays in O(d·m) — no re-sorting below the root.
+struct FastBuilder<'a> {
+    params: &'a TreeParams,
+    attrs: &'a [AttrId],
+    rng: StdRng,
+    nodes: Vec<Node>,
+    n: usize,
+    /// `vals[a_idx * n + slot]` — candidate attribute values per slot.
+    vals: Vec<f64>,
+    /// `orders[a_idx * n ..][lo..hi]` — slots sorted by attribute value
+    /// (ties in original slot order, matching the naive stable sort).
+    orders: Vec<u32>,
+    /// Slots in the naive builder's item order (original order filtered by
+    /// the path predicates); the weight/label sums iterate this order.
+    items: Vec<u32>,
+    /// Per slot: sample weight.
+    weights: Vec<f64>,
+    /// Per slot: `label == 1`.
+    is_pos: Vec<bool>,
+    /// Per slot scratch: side of the current split.
+    goes_left: Vec<bool>,
+    /// Partition scratch (right side), reused across nodes.
+    scratch: Vec<u32>,
+}
+
+impl<'a> FastBuilder<'a> {
+    fn new(
+        ds: &Dataset,
+        attrs: &'a [AttrId],
+        indices: &[usize],
+        weights: Option<&[f64]>,
+        params: &'a TreeParams,
+        seed: u64,
+    ) -> Self {
+        let n = indices.len();
+        let d = attrs.len();
+        let mut vals = Vec::with_capacity(d * n);
+        for &attr in attrs {
+            vals.extend(indices.iter().map(|&row| ds.value(row, attr)));
+        }
+        let mut orders = Vec::with_capacity(d * n);
+        for a_idx in 0..d {
+            let base = a_idx * n;
+            let mut order: Vec<u32> = (0..n as u32).collect();
+            // Stable: tied values keep ascending slot order, exactly like
+            // the naive builder's per-node stable sort.
+            order.sort_by(|&s1, &s2| {
+                vals[base + s1 as usize]
+                    .partial_cmp(&vals[base + s2 as usize])
+                    .expect("finite features")
+            });
+            orders.extend_from_slice(&order);
+        }
+        Self {
+            params,
+            attrs,
+            rng: StdRng::seed_from_u64(seed ^ 0xa076_1d64_78bd_642f),
+            nodes: Vec::new(),
+            n,
+            vals,
+            orders,
+            items: (0..n as u32).collect(),
+            weights: match weights {
+                Some(w) => w.to_vec(),
+                None => vec![1.0; n],
+            },
+            is_pos: indices.iter().map(|&row| ds.label(row) == 1).collect(),
+            goes_left: vec![false; n],
+            scratch: Vec::with_capacity(n),
+        }
+    }
+
+    /// Position of `attr` within the candidate attribute list.
+    fn attr_index(&self, attr: AttrId) -> usize {
+        self.attrs.iter().position(|&a| a == attr).expect("candidate attribute")
+    }
+
+    /// Builds the subtree over segment `[lo, hi)`, returning its node id.
+    /// Children are pushed before parents, exactly like the naive builder.
+    fn build(&mut self, lo: usize, hi: usize, depth: usize) -> u32 {
+        let m = hi - lo;
+        let mut total_w = 0.0;
+        let mut pos_w = 0.0;
+        for &slot in &self.items[lo..hi] {
+            let w = self.weights[slot as usize];
+            total_w += w;
+            if self.is_pos[slot as usize] {
+                pos_w += w;
+            }
+        }
+        let p = if total_w > 0.0 { pos_w / total_w } else { 0.5 };
+
+        let stop = depth >= self.params.max_depth
+            || m < 2 * self.params.min_samples_leaf
+            || p <= 0.0
+            || p >= 1.0
+            || total_w <= 0.0;
+        if stop {
+            self.nodes.push(Node::Leaf { proba: p });
+            return (self.nodes.len() - 1) as u32;
+        }
+
+        let candidates =
+            sample_candidates(self.attrs, self.params.max_features, &mut self.rng);
+        let parent_imp = self.params.criterion.impurity(p);
+        let mut best: Option<(AttrId, f64, f64)> = None; // (attr, threshold, gain)
+
+        for &attr in &candidates {
+            let base = self.attr_index(attr) * self.n;
+            let order = &self.orders[base + lo..base + hi];
+            let mut left_w = 0.0;
+            let mut left_pos = 0.0;
+            for cut in 1..m {
+                let s_prev = order[cut - 1] as usize;
+                let v_prev = self.vals[base + s_prev];
+                let w_prev = self.weights[s_prev];
+                left_w += w_prev;
+                left_pos += if self.is_pos[s_prev] { w_prev } else { 0.0 };
+                let v_here = self.vals[base + order[cut] as usize];
+                if v_here <= v_prev {
+                    continue; // no boundary between equal values
+                }
+                if cut < self.params.min_samples_leaf
+                    || m - cut < self.params.min_samples_leaf
+                {
+                    continue;
+                }
+                let right_w = total_w - left_w;
+                if left_w <= 0.0 || right_w <= 0.0 {
+                    continue;
+                }
+                let right_pos = pos_w - left_pos;
+                let imp_l = self.params.criterion.impurity(left_pos / left_w);
+                let imp_r = self.params.criterion.impurity(right_pos / right_w);
+                let gain =
+                    parent_imp - (left_w * imp_l + right_w * imp_r) / total_w;
+                if gain > best.map_or(f64::NEG_INFINITY, |(_, _, g)| g) {
+                    best = Some((attr, 0.5 * (v_prev + v_here), gain));
+                }
+            }
+        }
+
+        let Some((attr, threshold, _)) = best else {
+            self.nodes.push(Node::Leaf { proba: p });
+            return (self.nodes.len() - 1) as u32;
+        };
+
+        // Mark each slot's side, then stably partition the item order and
+        // every per-attribute order around the same boundary.
+        let split_base = self.attr_index(attr) * self.n;
+        let mut n_left = 0;
+        for &slot in &self.items[lo..hi] {
+            let left = self.vals[split_base + slot as usize] <= threshold;
+            self.goes_left[slot as usize] = left;
+            n_left += usize::from(left);
+        }
+        // Degenerate partitions can only happen through floating-point
+        // pathologies; guard by emitting a leaf (as the naive builder does).
+        if n_left == 0 || n_left == m {
+            self.nodes.push(Node::Leaf { proba: p });
+            return (self.nodes.len() - 1) as u32;
+        }
+        partition_slots(&mut self.items[lo..hi], &self.goes_left, &mut self.scratch);
+        for a_idx in 0..self.attrs.len() {
+            let base = a_idx * self.n;
+            partition_slots(
+                &mut self.orders[base + lo..base + hi],
+                &self.goes_left,
+                &mut self.scratch,
+            );
+        }
+
+        let mid = lo + n_left;
+        let left = self.build(lo, mid, depth + 1);
+        let right = self.build(mid, hi, depth + 1);
+        self.nodes.push(Node::Split { attr, threshold, left, right });
+        (self.nodes.len() - 1) as u32
+    }
+}
+
+/// Stable in-place partition of a slot segment by the `goes_left` flags,
+/// using `scratch` to hold the right side.
+fn partition_slots(segment: &mut [u32], goes_left: &[bool], scratch: &mut Vec<u32>) {
+    scratch.clear();
+    let mut store = 0;
+    for i in 0..segment.len() {
+        let slot = segment[i];
+        if goes_left[slot as usize] {
+            segment[store] = slot;
+            store += 1;
+        } else {
+            scratch.push(slot);
+        }
+    }
+    segment[store..].copy_from_slice(scratch);
 }
 
 #[cfg(test)]

@@ -1,0 +1,117 @@
+//! Proof-of-equivalence suite for the presorted CART builder: over
+//! arbitrary data — including heavy value ties, per-sample weights, and
+//! random feature subsampling — `DecisionTree::fit` must produce a tree
+//! that is *structurally identical* (same nodes, same float thresholds
+//! bit-for-bit via `PartialEq`) to the per-node re-sorting reference
+//! `fit_naive`.
+//!
+//! Ties are the hard part: the presorted builder visits equal feature
+//! values in the stable order of the initial sort, the naive builder in
+//! the stable order of its per-node sort, and only because both sorts are
+//! stable and the partition preserves relative order do the candidate
+//! scans see the same sequence — and hence accumulate the same floats.
+
+use falcc_dataset::{Dataset, Schema};
+use falcc_models::{DecisionTree, SplitCriterion, TreeParams};
+use proptest::prelude::*;
+
+/// A dataset whose feature values are drawn from a small discrete grid so
+/// duplicate values (split-scan ties) are common, with 3 features.
+fn tied_dataset() -> impl Strategy<Value = Dataset> {
+    (10usize..70)
+        .prop_flat_map(|n| {
+            (
+                prop::collection::vec(-4i8..=4, n * 3),
+                prop::collection::vec(0u8..=1, n),
+            )
+        })
+        .prop_map(|(grid, labels)| {
+            let flat: Vec<f64> = grid.into_iter().map(|v| f64::from(v) * 0.5).collect();
+            let schema = Schema::new(
+                vec!["a".into(), "b".into(), "c".into()],
+                vec![],
+                "y",
+            )
+            .expect("schema");
+            Dataset::from_flat(schema, flat, labels).expect("dataset")
+        })
+}
+
+fn weights_for(n: usize) -> impl Strategy<Value = Option<Vec<f64>>> {
+    (0u8..=1, prop::collection::vec(0.1f64..3.0, n))
+        .prop_map(|(some, w)| (some == 1).then_some(w))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn presorted_tree_equals_naive_tree(
+        ds in tied_dataset(),
+        depth in 1usize..8,
+        min_leaf in 1usize..4,
+        seed in 0u64..1_000,
+        entropy in 0u8..=1,
+    ) {
+        let idx: Vec<usize> = (0..ds.len()).collect();
+        let params = TreeParams {
+            max_depth: depth,
+            min_samples_leaf: min_leaf,
+            criterion: if entropy == 1 { SplitCriterion::Entropy } else { SplitCriterion::Gini },
+            max_features: None,
+        };
+        let fast = DecisionTree::fit(&ds, &[0, 1, 2], &idx, None, &params, seed);
+        let naive = DecisionTree::fit_naive(&ds, &[0, 1, 2], &idx, None, &params, seed);
+        prop_assert_eq!(fast, naive);
+    }
+
+    #[test]
+    fn presorted_tree_equals_naive_tree_weighted(
+        (ds, weights) in tied_dataset().prop_flat_map(|ds| {
+            let n = ds.len();
+            (Just(ds), weights_for(n))
+        }),
+        seed in 0u64..1_000,
+    ) {
+        let idx: Vec<usize> = (0..ds.len()).collect();
+        let params = TreeParams { max_depth: 6, ..TreeParams::default() };
+        let fast =
+            DecisionTree::fit(&ds, &[0, 1, 2], &idx, weights.as_deref(), &params, seed);
+        let naive =
+            DecisionTree::fit_naive(&ds, &[0, 1, 2], &idx, weights.as_deref(), &params, seed);
+        prop_assert_eq!(fast, naive);
+    }
+
+    #[test]
+    fn presorted_tree_equals_naive_tree_with_feature_subsampling(
+        ds in tied_dataset(),
+        max_features in 1usize..4,
+        seed in 0u64..1_000,
+    ) {
+        // Both builders must consume their per-node RNG identically, or
+        // the candidate sets diverge on the first split.
+        let idx: Vec<usize> = (0..ds.len()).collect();
+        let params = TreeParams {
+            max_depth: 7,
+            max_features: Some(max_features),
+            ..TreeParams::default()
+        };
+        let fast = DecisionTree::fit(&ds, &[0, 1, 2], &idx, None, &params, seed);
+        let naive = DecisionTree::fit_naive(&ds, &[0, 1, 2], &idx, None, &params, seed);
+        prop_assert_eq!(fast, naive);
+    }
+
+    #[test]
+    fn presorted_tree_equals_naive_tree_on_subset(
+        ds in tied_dataset(),
+        seed in 0u64..1_000,
+    ) {
+        // Training on a strided subset exercises non-contiguous index
+        // slots in the presorted order.
+        let idx: Vec<usize> = (0..ds.len()).step_by(2).collect();
+        let params = TreeParams { max_depth: 5, ..TreeParams::default() };
+        let fast = DecisionTree::fit(&ds, &[0, 2], &idx, None, &params, seed);
+        let naive = DecisionTree::fit_naive(&ds, &[0, 2], &idx, None, &params, seed);
+        prop_assert_eq!(fast, naive);
+    }
+}

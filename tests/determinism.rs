@@ -81,6 +81,38 @@ fn split_by_group_training_is_also_invariant() {
 }
 
 #[test]
+fn log_means_pipeline_is_invariant_across_thread_counts() {
+    // Same contract as above, but with LOG-Means k estimation instead of
+    // the fixed test k — this exercises the warm-started probe cache, the
+    // bounded Lloyd kernel, and the norm-pruned online path end to end.
+    let fit = |threads: usize| -> (usize, Vec<Vec<u64>>, Vec<u8>) {
+        let ds = synthetic::social30(23).expect("generate");
+        let ds = ds.subset(&(0..1500).collect::<Vec<_>>()).expect("subset");
+        let split = ThreeWaySplit::split(&ds, SplitRatios::PAPER, 23).expect("split");
+        let mut cfg = FalccConfig::default();
+        cfg.scale_for_tests();
+        cfg.clustering = falcc::ClusterSpec::LogMeans;
+        cfg.seed = 23;
+        cfg.threads = threads;
+        let model = FalccModel::fit(&split.train, &split.validation, &cfg).expect("fit");
+        let centroid_bits = model
+            .centroids()
+            .iter()
+            .map(|c| c.iter().map(|v| v.to_bits()).collect())
+            .collect();
+        (model.n_regions(), centroid_bits, model.predict_dataset(&split.test))
+    };
+    let (k_ref, centroids_ref, preds_ref) = fit(1);
+    assert!(k_ref >= 1);
+    for threads in [2, 8] {
+        let (k, centroids, preds) = fit(threads);
+        assert_eq!(k, k_ref, "LOG-Means k differs at {threads} threads");
+        assert_eq!(centroids, centroids_ref, "centroids differ at {threads} threads");
+        assert_eq!(preds, preds_ref, "predictions differ at {threads} threads");
+    }
+}
+
+#[test]
 fn classify_batch_equals_sequential_classification() {
     let ds = synthetic::social30(22).expect("generate");
     let ds = ds.subset(&(0..1200).collect::<Vec<_>>()).expect("subset");
