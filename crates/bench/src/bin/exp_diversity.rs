@@ -132,7 +132,7 @@ fn main() {
             f4(slope_bias),
             entropies.len().to_string(),
         ]);
-        eprintln!("[exp_diversity] finished dataset {}", dataset.name());
+        falcc_telemetry::progress(format!("[exp_diversity] finished dataset {}", dataset.name()));
     }
 
     print!("{}", scatter.render());

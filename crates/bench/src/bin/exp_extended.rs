@@ -51,7 +51,7 @@ fn main() {
             let row = evaluate(model.as_ref(), &split.test, metric, &regions, 0.0);
             add(model.name(), row);
         }
-        eprintln!("[exp_extended] seed {seed} done");
+        falcc_telemetry::progress(format!("[exp_extended] seed {seed} done"));
     }
 
     let runs = opts.runs as f64;

@@ -12,7 +12,10 @@ fn main() {
     let opts = Opts::from_args();
     let (scale, reps) = if opts.smoke { (0.02, 1) } else { (opts.scale, 3) };
 
-    eprintln!("benchmarking kernels at scale {scale} (reps {reps}, seed {})", opts.seed);
+    falcc_telemetry::progress(format!(
+        "benchmarking kernels at scale {scale} (reps {reps}, seed {})",
+        opts.seed
+    ));
     let report = bench_kernels(scale, opts.seed, reps);
 
     println!("kernel            naive_ms    fast_ms  speedup  equivalent");
@@ -26,7 +29,10 @@ fn main() {
     let json = serde_json::to_string(&report).expect("serialise report");
     let out = "BENCH_kernels.json";
     std::fs::write(out, json).expect("write BENCH_kernels.json");
-    eprintln!("wrote {out} ({} rows of training data)", report.train_rows);
+    falcc_telemetry::progress(format!(
+        "wrote {out} ({} rows of training data)",
+        report.train_rows
+    ));
 
     // Bit-equivalence is a hard promise for everything except the
     // warm-started LOG-Means probes; fail loudly if a kernel diverged.

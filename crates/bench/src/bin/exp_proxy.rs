@@ -73,7 +73,7 @@ fn main() {
                 f4(sums[1] / runs),
                 f4(sums[2] / runs),
             ]);
-            eprintln!("[exp_proxy] bias {bias_pct}% strategy {strat_name} done");
+            falcc_telemetry::progress(format!("[exp_proxy] bias {bias_pct}% strategy {strat_name} done"));
         }
     }
 

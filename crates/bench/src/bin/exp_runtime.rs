@@ -154,7 +154,10 @@ fn main() {
             format!("{other_us:.2}"),
             other_name,
         ]);
-        eprintln!("[exp_runtime] finished dataset {}", dataset.name());
+        falcc_telemetry::progress(format!(
+            "[exp_runtime] finished dataset {}",
+            dataset.name()
+        ));
     }
 
     print!("{}", table.render());
@@ -181,4 +184,118 @@ fn main() {
     }
     print!("{}", kernel_table.render());
     write_csv(&kernel_table, &out, "kernel_speedups.csv");
+
+    // Any --profile/--trace-out output covers the comparison above; the
+    // sections below manage telemetry state themselves.
+    opts.finish_telemetry();
+    phase_breakdown(&opts, &out);
+    overhead_report(&opts);
+}
+
+/// Per-phase wall-clock of one FALCC fit + batch classification, from the
+/// telemetry span tree — the paper's Fig. 6 split into pipeline stages.
+fn phase_breakdown(opts: &Opts, out: &std::path::Path) {
+    let was_enabled = falcc_telemetry::enabled();
+    falcc_telemetry::enable();
+    falcc_telemetry::reset();
+
+    let seed = opts.seed;
+    let ds = BenchDataset::AdultSex.generate(seed, opts.scale);
+    let split = ThreeWaySplit::split(&ds, SplitRatios::PAPER, seed).expect("split");
+    let metric = falcc_metrics::FairnessMetric::DemographicParity;
+    let model =
+        FalccModel::fit(&split.train, &split.validation, &falcc_config(metric, seed, 1))
+            .expect("group coverage");
+    let preds = model.predict_dataset(&split.test);
+    assert_eq!(preds.len(), split.test.len());
+
+    let snap = falcc_telemetry::snapshot();
+    let total = snap.total_ns("offline.fit");
+    let phases = [
+        ("offline.proxy", "proxy analysis"),
+        ("offline.projection", "projection"),
+        ("offline.k_estimation", "k estimation"),
+        ("offline.clustering", "clustering"),
+        ("offline.pool_training", "pool training"),
+        ("offline.gap_fill", "gap fill"),
+        ("offline.pool_predictions", "pool predictions"),
+        ("offline.assessment", "assessment"),
+        ("online.classify_batch", "online (batch)"),
+    ];
+    let mut table = Table::new(
+        "Per-phase wall-clock — one FALCC fit + test classification, Adult (sex)",
+        &["phase", "span", "time", "% of offline"],
+    );
+    for (span_name, label) in phases {
+        let ns = snap.total_ns(span_name);
+        let pct = if total > 0 && span_name.starts_with("offline.") {
+            format!("{:.1}", ns as f64 / total as f64 * 100.0)
+        } else {
+            "-".into()
+        };
+        table.push(vec![
+            label.into(),
+            span_name.into(),
+            falcc_telemetry::sink::fmt_ns(ns),
+            pct,
+        ]);
+    }
+    print!("{}", table.render());
+    write_csv(&table, out, "phase_breakdown.csv");
+
+    if !was_enabled {
+        falcc_telemetry::disable();
+    }
+    falcc_telemetry::reset();
+}
+
+/// Measures telemetry overhead (enabled vs disabled) and writes
+/// `BENCH_telemetry.json` at the repo root. In `--smoke` mode the
+/// disabled-path cost gates CI.
+fn overhead_report(opts: &Opts) {
+    let was_enabled = falcc_telemetry::enabled();
+    falcc_telemetry::disable();
+    let (scale, reps) = if opts.smoke { (0.02, 1) } else { (opts.scale, 3) };
+    let report = falcc_bench::measure_overhead(scale, opts.seed, reps);
+
+    let mut table = Table::new(
+        "Telemetry overhead — end-to-end fit + classify, Adult (sex)",
+        &["state", "median_ms", "overhead"],
+    );
+    table.push(vec!["disabled".into(), format!("{:.1}", report.disabled_ms), "baseline".into()]);
+    table.push(vec![
+        "enabled".into(),
+        format!("{:.1}", report.enabled_ms),
+        format!("{:+.2}%", report.enabled_overhead_pct),
+    ]);
+    print!("{}", table.render());
+    println!(
+        "disabled hot path: {:.1} ns/counter update, {:.1} ns/span guard \
+         ({} spans recorded when enabled; predictions identical: {})",
+        report.disabled_counter_ns,
+        report.disabled_span_ns,
+        report.spans_recorded,
+        report.predictions_identical,
+    );
+
+    let json = serde_json::to_string(&report).expect("serialise report");
+    std::fs::write("BENCH_telemetry.json", json).expect("write BENCH_telemetry.json");
+    falcc_telemetry::progress("wrote BENCH_telemetry.json");
+
+    assert!(report.predictions_identical, "telemetry perturbed predictions");
+    if opts.smoke {
+        // The end-to-end percentage is too noisy to gate CI at smoke
+        // scale; the disabled-path cost is the stable regression signal.
+        let bound = falcc_bench::overhead::DISABLED_PATH_MAX_NS;
+        if report.disabled_counter_ns > bound || report.disabled_span_ns > bound {
+            eprintln!(
+                "disabled-path overhead regressed: counter {:.1} ns, span {:.1} ns (bound {bound} ns)",
+                report.disabled_counter_ns, report.disabled_span_ns
+            );
+            std::process::exit(1);
+        }
+    }
+    if was_enabled {
+        falcc_telemetry::enable();
+    }
 }

@@ -178,7 +178,7 @@ fn main() {
                     e[3] += row.individual_bias;
                 }
             }
-            eprintln!("[exp_summary] {} seed {seed} done", dataset.name());
+            falcc_telemetry::progress(format!("[exp_summary] {} seed {seed} done", dataset.name()));
         }
         let runs = opts.runs as f64;
         for mi in 0..METRICS.len() {

@@ -17,6 +17,12 @@ pub struct Opts {
     /// Tiny-footprint mode for CI: shrink data and repetitions so the
     /// binary finishes in seconds (used by `exp_kernels`).
     pub smoke: bool,
+    /// Record telemetry and print the per-phase profile (`--profile`).
+    pub profile: bool,
+    /// Record telemetry and write the trace as JSON lines here.
+    pub trace_out: Option<PathBuf>,
+    /// Suppress progress output on stderr (`--quiet`).
+    pub quiet: bool,
 }
 
 impl Default for Opts {
@@ -27,17 +33,51 @@ impl Default for Opts {
             scale: 0.10,
             out: PathBuf::from("bench_results"),
             smoke: false,
+            profile: false,
+            trace_out: None,
+            quiet: false,
         }
     }
 }
 
 impl Opts {
-    /// Parses `--seed`, `--runs`, `--scale`, `--out`, `--smoke` from the
-    /// process args.
+    /// Parses `--seed`, `--runs`, `--scale`, `--out`, `--smoke`,
+    /// `--profile`, `--trace-out`, `--quiet` from the process args, then
+    /// activates telemetry accordingly ([`Self::activate_telemetry`]).
     /// Unknown flags abort with a usage message — silent typos would waste
     /// long experiment runs.
     pub fn from_args() -> Self {
-        Self::parse(std::env::args().skip(1))
+        let opts = Self::parse(std::env::args().skip(1));
+        opts.activate_telemetry();
+        opts
+    }
+
+    /// Applies the telemetry flags: `--quiet` silences progress output,
+    /// and `--profile`/`--trace-out` turn recording on.
+    pub fn activate_telemetry(&self) {
+        falcc_telemetry::set_quiet(self.quiet);
+        if self.profile || self.trace_out.is_some() {
+            falcc_telemetry::enable();
+        }
+    }
+
+    /// Final telemetry output: writes the JSON-lines trace when
+    /// `--trace-out` was given and prints the phase tree when `--profile`
+    /// was. Call once at the end of an experiment binary.
+    pub fn finish_telemetry(&self) {
+        if !(self.profile || self.trace_out.is_some()) {
+            return;
+        }
+        let snap = falcc_telemetry::snapshot();
+        if let Some(path) = &self.trace_out {
+            if let Err(e) = snap.write_jsonl(path) {
+                eprintln!("cannot write trace to {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+        if self.profile {
+            println!("\n-- profile --\n{}", snap.render_tree());
+        }
     }
 
     fn parse(args: impl Iterator<Item = String>) -> Self {
@@ -56,9 +96,13 @@ impl Opts {
                 "--scale" => opts.scale = parse_or_die(&value("--scale"), "--scale"),
                 "--out" => opts.out = PathBuf::from(value("--out")),
                 "--smoke" => opts.smoke = true,
+                "--profile" => opts.profile = true,
+                "--trace-out" => opts.trace_out = Some(PathBuf::from(value("--trace-out"))),
+                "--quiet" => opts.quiet = true,
                 "--help" | "-h" => {
                     println!(
                         "flags: --seed <u64> --runs <n> --scale <0..1] --out <dir> --smoke\n\
+                         \x20      --profile --trace-out <path> --quiet\n\
                          defaults: --seed 11 --runs 4 --scale 0.10 --out bench_results"
                     );
                     std::process::exit(0);
@@ -133,6 +177,16 @@ mod tests {
         assert!(o.smoke);
         assert_eq!(o.runs, 2);
         assert!(!parse(&[]).smoke);
+    }
+
+    #[test]
+    fn telemetry_flags_parse() {
+        let o = parse(&["--profile", "--trace-out", "t.jsonl", "--quiet"]);
+        assert!(o.profile);
+        assert!(o.quiet);
+        assert_eq!(o.trace_out, Some(PathBuf::from("t.jsonl")));
+        let o = parse(&[]);
+        assert!(!o.profile && !o.quiet && o.trace_out.is_none());
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //! Every binary accepts `--seed <u64>`, `--runs <n>`, `--scale <f64>` (row
 //! scaling of the emulated datasets) and `--out <dir>` and writes both a
 //! human-readable table to stdout and CSV files under `bench_results/`.
+//! The telemetry flags `--profile`, `--trace-out <path>`, and `--quiet`
+//! work everywhere too (see `falcc-telemetry`); `exp_runtime` additionally
+//! prints a per-phase breakdown and writes `BENCH_telemetry.json` with the
+//! measured observability overhead.
 //! Criterion micro-benchmarks for the online/offline phases live under
 //! `benches/`.
 
@@ -25,6 +29,7 @@ pub mod cli;
 pub mod data;
 pub mod eval;
 pub mod kernels;
+pub mod overhead;
 pub mod report;
 
 pub use algos::{fit_algorithm, Algo, FittedAlgo};
@@ -32,4 +37,5 @@ pub use cli::Opts;
 pub use data::BenchDataset;
 pub use eval::{evaluate, reference_regions, EvalRow};
 pub use kernels::{bench_kernels, KernelReport, KernelTiming};
+pub use overhead::{measure_overhead, TelemetryOverheadReport};
 pub use report::{write_csv, Table};

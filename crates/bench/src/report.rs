@@ -88,7 +88,7 @@ pub fn write_csv(table: &Table, dir: &Path, name: &str) {
     let path = dir.join(name);
     std::fs::write(&path, table.to_csv())
         .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
-    println!("wrote {}", path.display());
+    falcc_telemetry::progress(format!("wrote {}", path.display()));
 }
 
 /// Formats a fraction as a percentage with one decimal.

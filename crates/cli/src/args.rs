@@ -19,8 +19,67 @@ pub enum Command {
         /// Path to the saved model JSON.
         model: String,
     },
+    /// Self-contained end-to-end demo on synthetic data (fit + classify),
+    /// mainly useful with `--profile`/`--trace-out`.
+    Run(RunArgs),
     /// Print usage.
     Help,
+}
+
+/// Global observability options, accepted by every subcommand and
+/// extracted from the argument vector before subcommand parsing.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TelemetryOpts {
+    /// Print the per-phase span tree and metrics after the command.
+    pub profile: bool,
+    /// Write the full trace as JSON lines to this path.
+    pub trace_out: Option<String>,
+    /// Suppress progress output on stderr (recorded progress events still
+    /// land in the trace, so `--quiet --trace-out t.jsonl` keeps the log).
+    pub quiet: bool,
+}
+
+impl TelemetryOpts {
+    /// `true` when the command should record telemetry.
+    pub fn recording(&self) -> bool {
+        self.profile || self.trace_out.is_some()
+    }
+}
+
+/// Splits the global `--profile` / `--trace-out <path>` / `--quiet` flags
+/// out of `argv`, returning the remaining arguments and the parsed options.
+///
+/// # Errors
+/// [`CliError`] (exit code 2) when `--trace-out` is missing its path.
+pub fn extract_telemetry(argv: &[String]) -> Result<(Vec<String>, TelemetryOpts), CliError> {
+    let mut rest = Vec::with_capacity(argv.len());
+    let mut opts = TelemetryOpts::default();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--profile" => opts.profile = true,
+            "--quiet" => opts.quiet = true,
+            "--trace-out" => {
+                let path = it
+                    .next()
+                    .ok_or_else(|| CliError::usage("missing value for --trace-out"))?;
+                opts.trace_out = Some(path.clone());
+            }
+            _ => rest.push(arg.clone()),
+        }
+    }
+    Ok((rest, opts))
+}
+
+/// `falcc run` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArgs {
+    /// RNG seed for data generation and fitting.
+    pub seed: u64,
+    /// Row-count scale of the synthetic dataset in `(0, 1]`.
+    pub scale: f64,
+    /// Worker threads (0 = available parallelism).
+    pub threads: usize,
 }
 
 /// `falcc train` options.
@@ -90,6 +149,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
         "--help" | "-h" | "help" => Ok(Command::Help),
         "train" => parse_train(&argv[1..]),
         "predict" => parse_predict(&argv[1..]),
+        "run" => parse_run(&argv[1..]),
         "audit" => parse_model_data(&argv[1..]).map(Command::Audit),
         "info" => {
             let mut model = None;
@@ -195,6 +255,27 @@ fn parse_train(args: &[String]) -> Result<Command, CliError> {
         return Err(CliError::usage("--val-split must be in (0, 1)"));
     }
     Ok(Command::Train(out))
+}
+
+fn parse_run(args: &[String]) -> Result<Command, CliError> {
+    let mut out = RunArgs { seed: 11, scale: 0.10, threads: 0 };
+    let mut cur = Cursor { args, at: 0 };
+    while cur.at < cur.args.len() {
+        let flag = cur.args[cur.at].clone();
+        cur.at += 1;
+        match flag.as_str() {
+            "--seed" => out.seed = parse_num(cur.next_value("--seed")?, "--seed")?,
+            "--scale" => out.scale = parse_num(cur.next_value("--scale")?, "--scale")?,
+            "--threads" => {
+                out.threads = parse_num(cur.next_value("--threads")?, "--threads")?
+            }
+            other => return Err(CliError::usage(format!("unknown flag {other}"))),
+        }
+    }
+    if !(out.scale > 0.0 && out.scale <= 1.0) {
+        return Err(CliError::usage("--scale must be in (0, 1]"));
+    }
+    Ok(Command::Run(out))
 }
 
 fn parse_predict(args: &[String]) -> Result<Command, CliError> {
@@ -338,5 +419,36 @@ mod tests {
         assert!(matches!(cmd, Command::Audit(_)));
         let cmd = parse(&v(&["info", "--model", "m"])).unwrap();
         assert!(matches!(cmd, Command::Info { .. }));
+    }
+
+    #[test]
+    fn run_defaults_and_flags() {
+        let cmd = parse(&v(&["run"])).unwrap();
+        assert_eq!(cmd, Command::Run(RunArgs { seed: 11, scale: 0.10, threads: 0 }));
+        let cmd =
+            parse(&v(&["run", "--seed", "3", "--scale", "0.25", "--threads", "2"])).unwrap();
+        assert_eq!(cmd, Command::Run(RunArgs { seed: 3, scale: 0.25, threads: 2 }));
+        assert_eq!(parse(&v(&["run", "--scale", "0"])).unwrap_err().exit_code, 2);
+        assert_eq!(parse(&v(&["run", "--scale", "1.5"])).unwrap_err().exit_code, 2);
+    }
+
+    #[test]
+    fn telemetry_flags_extract_from_anywhere() {
+        let (rest, t) = extract_telemetry(&v(&[
+            "--profile", "run", "--trace-out", "t.jsonl", "--seed", "5", "--quiet",
+        ]))
+        .unwrap();
+        assert_eq!(rest, v(&["run", "--seed", "5"]));
+        assert!(t.profile && t.quiet);
+        assert_eq!(t.trace_out.as_deref(), Some("t.jsonl"));
+        assert!(t.recording());
+
+        let (rest, t) = extract_telemetry(&v(&["audit", "--model", "m"])).unwrap();
+        assert_eq!(rest, v(&["audit", "--model", "m"]));
+        assert_eq!(t, TelemetryOpts::default());
+        assert!(!t.recording());
+
+        let err = extract_telemetry(&v(&["run", "--trace-out"])).unwrap_err();
+        assert_eq!(err.exit_code, 2);
     }
 }

@@ -1,7 +1,7 @@
 //! Implementation of the CLI subcommands. Each returns its stdout text so
 //! the whole flow is unit-testable in-process.
 
-use crate::args::{Command, ModelDataArgs, PredictArgs, TrainArgs};
+use crate::args::{Command, ModelDataArgs, PredictArgs, RunArgs, TrainArgs};
 use crate::{CliError, USAGE};
 use falcc::{
     auto_tune, FairClassifier, FalccConfig, FalccModel, SavedFalccModel,
@@ -22,7 +22,60 @@ pub fn execute(command: Command) -> Result<String, CliError> {
         Command::Predict(args) => predict(args),
         Command::Audit(args) => audit(args),
         Command::Info { model } => info(&model),
+        Command::Run(args) => run_demo(args),
     }
+}
+
+/// `falcc run`: the full pipeline on a synthetic benchmark dataset — no
+/// input files needed. Exists mainly as a profiling target: with
+/// `--profile`/`--trace-out` it exercises every instrumented phase of the
+/// offline and online stack in one invocation.
+fn run_demo(args: RunArgs) -> Result<String, CliError> {
+    use falcc_dataset::synthetic::{generate, SyntheticConfig};
+
+    let mut dcfg = SyntheticConfig::social(0.30);
+    dcfg.n = ((dcfg.n as f64 * args.scale) as usize).max(600);
+    falcc_telemetry::progress(format!(
+        "generating synthetic social dataset: {} rows, seed {}",
+        dcfg.n, args.seed
+    ));
+    let data = generate(&dcfg, args.seed)
+        .map_err(|e| CliError::runtime(format!("generating data: {e}")))?;
+    let split = ThreeWaySplit::split(&data, SplitRatios::PAPER, args.seed)
+        .map_err(|e| CliError::runtime(format!("splitting data: {e}")))?;
+
+    let config = FalccConfig {
+        proxy: falcc::ProxyStrategy::PAPER_REMOVE,
+        seed: args.seed,
+        threads: args.threads,
+        ..FalccConfig::default()
+    };
+    falcc_telemetry::progress("fitting FALCC (offline phase)");
+    let model = FalccModel::fit(&split.train, &split.validation, &config)
+        .map_err(|e| CliError::runtime(format!("fitting FALCC: {e}")))?;
+    falcc_telemetry::progress("classifying test split (online phase)");
+    let preds = model.predict_dataset(&split.test);
+
+    let y = split.test.labels();
+    let g = split.test.groups();
+    let n_groups = split.test.group_index().len();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fitted on {} train / {} validation rows: pool of {} models, {} local regions",
+        split.train.len(),
+        split.validation.len(),
+        model.pool().len(),
+        model.n_regions()
+    );
+    let _ = writeln!(
+        out,
+        "test ({} rows): accuracy {:.2}%, demographic parity bias {:.2}%",
+        split.test.len(),
+        accuracy(y, &preds) * 100.0,
+        FairnessMetric::DemographicParity.bias(y, &preds, g, n_groups) * 100.0
+    );
+    Ok(out)
 }
 
 fn load_dataset(path: &str, sensitive: &[(&str, Vec<f64>)]) -> Result<Dataset, CliError> {
@@ -281,6 +334,35 @@ mod tests {
         assert!(info_out.contains("local regions"), "{info_out}");
         assert!(info_out.contains("m0:"), "{info_out}");
 
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_with_profile_and_trace_emits_tree_and_jsonl() {
+        let dir = std::env::temp_dir().join("falcc_cli_run_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("trace.jsonl").to_string_lossy().into_owned();
+
+        let out = crate::run(&v(&[
+            "run", "--scale", "0.05", "--seed", "7", "--profile", "--trace-out", &trace,
+            "--quiet",
+        ]))
+        .unwrap();
+        assert!(out.contains("fitted on"), "{out}");
+        assert!(out.contains("-- profile --"), "{out}");
+        assert!(out.contains("offline.fit"), "{out}");
+
+        let jsonl = std::fs::read_to_string(&trace).unwrap();
+        assert!(!jsonl.is_empty());
+        for line in jsonl.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "bad line: {line}");
+        }
+        assert!(jsonl.contains("\"name\":\"offline.clustering\""), "{jsonl}");
+        assert!(jsonl.contains("\"type\":\"counter\""), "{jsonl}");
+
+        falcc_telemetry::disable();
+        falcc_telemetry::reset();
+        falcc_telemetry::set_quiet(false);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -53,11 +53,35 @@ impl CliError {
 
 /// Parses and executes one CLI invocation, returning the text to print.
 ///
+/// The global `--profile`, `--trace-out <path>`, and `--quiet` flags are
+/// accepted anywhere on the command line and handled here: they activate
+/// telemetry before the command runs, and afterwards append the phase-tree
+/// report (`--profile`) and/or write the JSON-lines trace (`--trace-out`).
+///
 /// # Errors
 /// [`CliError`] with a usage (exit 2) or runtime (exit 1) failure.
 pub fn run(argv: &[String]) -> Result<String, CliError> {
-    let parsed = args::parse(argv)?;
-    commands::execute(parsed)
+    let (argv, telemetry) = args::extract_telemetry(argv)?;
+    falcc_telemetry::set_quiet(telemetry.quiet);
+    if telemetry.recording() {
+        falcc_telemetry::enable();
+        falcc_telemetry::reset();
+    }
+    let parsed = args::parse(&argv)?;
+    let mut output = commands::execute(parsed)?;
+    if telemetry.recording() {
+        let snap = falcc_telemetry::snapshot();
+        if let Some(path) = &telemetry.trace_out {
+            snap.write_jsonl(std::path::Path::new(path)).map_err(|e| {
+                CliError::runtime(format!("cannot write trace to {path}: {e}"))
+            })?;
+        }
+        if telemetry.profile {
+            output.push_str("\n-- profile --\n");
+            output.push_str(&snap.render_tree());
+        }
+    }
+    Ok(output)
 }
 
 /// Usage text shown by `--help` and on argument errors.
@@ -72,6 +96,16 @@ USAGE:
   falcc predict --model <model.json> --data <csv> [--out <csv>] [--threads <n>]
   falcc audit   --model <model.json> --data <csv>
   falcc info    --model <model.json>
+  falcc run     [--seed <u64>] [--scale <0..1>] [--threads <n>]
+
+GLOBAL FLAGS (any subcommand):
+  --profile            print a per-phase span tree and metrics afterwards
+  --trace-out <path>   write the full trace as JSON lines
+  --quiet              suppress progress output on stderr
+
+`falcc run` fits and classifies a synthetic benchmark dataset end to end —
+no input files needed; combine with --profile / --trace-out to inspect the
+pipeline, e.g. `falcc run --profile --trace-out trace.jsonl`.
 
 CSV format: header row, numeric cells, binary label in the last column.
 Sensitive columns must be 0/1-coded.

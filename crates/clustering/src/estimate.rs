@@ -58,6 +58,7 @@ fn sse_at(cache: &mut ProbeCache, x: &ProjectedMatrix, cfg: &KEstimateConfig, k:
     if let Some((v, _)) = cache.get(&k) {
         return *v;
     }
+    falcc_telemetry::counters::LOGMEANS_PROBES.incr();
     let mut trainer = KMeans::new(k, cfg.seed);
     trainer.max_iter = cfg.max_iter;
     trainer.bounds = cfg.bounds;
@@ -67,6 +68,7 @@ fn sse_at(cache: &mut ProbeCache, x: &ProjectedMatrix, cfg: &KEstimateConfig, k:
     let mut best = trainer.fit(x);
     if cfg.warm_start {
         if let Some(init) = warm_candidate(cache, x, k) {
+            falcc_telemetry::counters::LOGMEANS_WARM_STARTS.incr();
             let warm = trainer.fit_from(x, init);
             if warm.sse < best.sse {
                 best = warm;

@@ -127,8 +127,10 @@ impl KMeans {
         let d = x.n_cols;
         let mut assignments = vec![0usize; x.n_rows];
         let mut sse = f64::INFINITY;
+        let mut iterations = 0u64;
 
         for _ in 0..self.max_iter {
+            iterations += 1;
             let mut new_sse = 0.0;
             let mut sums = vec![0.0f64; k * d];
             let mut counts = vec![0usize; k];
@@ -152,6 +154,7 @@ impl KMeans {
             }
         }
 
+        falcc_telemetry::counters::LLOYD_ITERATIONS.add(iterations);
         finalize(x, centroids, assignments)
     }
 
@@ -171,8 +174,11 @@ impl KMeans {
         let mut lb = vec![0.0f64; x.n_rows]; // forces a full scan first time
         let mut movements = vec![0.0f64; k];
         let mut sse = f64::INFINITY;
+        let mut iterations = 0u64;
+        let mut bound_skips = 0u64;
 
         for _ in 0..self.max_iter {
+            iterations += 1;
             let mut new_sse = 0.0;
             let mut sums = vec![0.0f64; k * d];
             let mut counts = vec![0usize; k];
@@ -180,6 +186,7 @@ impl KMeans {
                 let row = x.row(i);
                 let d_assigned = sq_dist(row, &centroids[*slot]);
                 let (c, dist) = if d_assigned.sqrt() < lb[i] {
+                    bound_skips += 1;
                     (*slot, d_assigned)
                 } else {
                     let (c, d1, d2) = nearest_two(row, &centroids);
@@ -210,6 +217,8 @@ impl KMeans {
             }
         }
 
+        falcc_telemetry::counters::LLOYD_ITERATIONS.add(iterations);
+        falcc_telemetry::counters::LLOYD_BOUND_SKIPS.add(bound_skips);
         finalize(x, centroids, assignments)
     }
 }
@@ -348,11 +357,13 @@ impl KMeansModel {
         assert_eq!(centroid_norms.len(), self.k(), "one cached norm per centroid");
         let p_norm = point.iter().map(|v| v * v).sum::<f64>().sqrt();
         let mut best = (0usize, f64::INFINITY);
+        let mut pruned = 0u64;
         for (c, centroid) in self.centroids.iter().enumerate() {
             if best.1.is_finite() {
                 let gap = (p_norm - centroid_norms[c]).abs()
                     - NORM_GAP_MARGIN * (p_norm + centroid_norms[c]);
                 if gap > 0.0 && gap * gap * LB_DEFLATE >= best.1 {
+                    pruned += 1;
                     continue;
                 }
             }
@@ -365,6 +376,7 @@ impl KMeansModel {
                 best = (c, d);
             }
         }
+        falcc_telemetry::counters::ONLINE_PRUNED_CANDIDATES.add(pruned);
         best.0
     }
 

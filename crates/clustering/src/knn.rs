@@ -50,6 +50,24 @@ enum Node {
 
 const LEAF_SIZE: usize = 16;
 
+/// Per-query leaf-scan tallies, accumulated in registers during the
+/// recursive search and flushed to the telemetry counters once per query
+/// (hot loops never touch an atomic per point).
+#[derive(Default)]
+struct ScanStats {
+    scanned: u64,
+    norm_gap_pruned: u64,
+    early_exit_pruned: u64,
+}
+
+impl ScanStats {
+    fn flush(&self) {
+        falcc_telemetry::counters::KNN_POINTS_SCANNED.add(self.scanned);
+        falcc_telemetry::counters::KNN_NORM_GAP_PRUNED.add(self.norm_gap_pruned);
+        falcc_telemetry::counters::KNN_EARLY_EXIT_PRUNED.add(self.early_exit_pruned);
+    }
+}
+
 impl KdTree {
     /// Builds a tree over all rows of `points`. The matrix is moved in; use
     /// [`Self::point`] to read points back.
@@ -142,8 +160,10 @@ impl KdTree {
             return Vec::new();
         }
         let mut heap = BoundedMaxHeap::new(k);
+        let mut stats = ScanStats::default();
         let q_norm = query.iter().map(|v| v * v).sum::<f64>().sqrt();
-        self.search_filtered(root, query, q_norm, &mut heap, &mut |_| true, true);
+        self.search_filtered(root, query, q_norm, &mut heap, &mut |_| true, true, &mut stats);
+        stats.flush();
         heap.into_sorted()
     }
 
@@ -156,7 +176,9 @@ impl KdTree {
             return Vec::new();
         }
         let mut heap = BoundedMaxHeap::new(k);
-        self.search_filtered(root, query, 0.0, &mut heap, &mut |_| true, false);
+        let mut stats = ScanStats::default();
+        self.search_filtered(root, query, 0.0, &mut heap, &mut |_| true, false, &mut stats);
+        stats.flush();
         heap.into_sorted()
     }
 
@@ -174,11 +196,14 @@ impl KdTree {
             return Vec::new();
         }
         let mut heap = BoundedMaxHeap::new(k);
+        let mut stats = ScanStats::default();
         let q_norm = query.iter().map(|v| v * v).sum::<f64>().sqrt();
-        self.search_filtered(root, query, q_norm, &mut heap, &mut filter, true);
+        self.search_filtered(root, query, q_norm, &mut heap, &mut filter, true, &mut stats);
+        stats.flush();
         heap.into_sorted()
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn search_filtered(
         &self,
         node: usize,
@@ -187,6 +212,7 @@ impl KdTree {
         heap: &mut BoundedMaxHeap,
         filter: &mut impl FnMut(usize) -> bool,
         pruned: bool,
+        stats: &mut ScanStats,
     ) {
         match &self.nodes[node] {
             Node::Leaf { indices } => {
@@ -196,6 +222,7 @@ impl KdTree {
                         continue;
                     }
                     if !pruned {
+                        stats.scanned += 1;
                         heap.push(i, sq_dist(query, self.points.row(i)));
                         continue;
                     }
@@ -209,22 +236,26 @@ impl KdTree {
                         let gap = (q_norm - self.norms[i]).abs()
                             - NORM_GAP_MARGIN * (q_norm + self.norms[i]);
                         if gap > 0.0 && gap * gap * LB_DEFLATE >= cutoff {
+                            stats.norm_gap_pruned += 1;
                             continue;
                         }
                     }
+                    stats.scanned += 1;
                     if let Some(d) = sq_dist_within(query, self.points.row(i), cutoff) {
                         heap.push(i, d);
+                    } else {
+                        stats.early_exit_pruned += 1;
                     }
                 }
             }
             Node::Split { axis, value, left, right } => {
                 let delta = query[*axis as usize] - value;
                 let (near, far) = if delta < 0.0 { (*left, *right) } else { (*right, *left) };
-                self.search_filtered(near, query, q_norm, heap, filter, pruned);
+                self.search_filtered(near, query, q_norm, heap, filter, pruned, stats);
                 // Visit the far side only if the splitting plane is closer
                 // than the current k-th best (or the heap is not full).
                 if !heap.is_full() || delta * delta < heap.worst() {
-                    self.search_filtered(far, query, q_norm, heap, filter, pruned);
+                    self.search_filtered(far, query, q_norm, heap, filter, pruned, stats);
                 }
             }
         }

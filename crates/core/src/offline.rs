@@ -51,10 +51,14 @@ impl FalccModel {
         config: &FalccConfig,
     ) -> Result<Self, FalccError> {
         config.validate()?;
+        let _sp = falcc_telemetry::span("offline.fit");
         let mut pool_cfg = config.pool;
         pool_cfg.seed ^= config.seed;
         pool_cfg.threads = config.threads;
-        let pool = ModelPool::train_diverse(train, validation, &pool_cfg);
+        let pool = {
+            let _pool_sp = falcc_telemetry::span("offline.pool_training");
+            ModelPool::train_diverse(train, validation, &pool_cfg)
+        };
         Self::fit_with_pool(validation, pool, config)
     }
 
@@ -85,28 +89,45 @@ impl FalccModel {
 
         // §3.4 proxy mitigation → attribute selection/weights for
         // clustering.
-        let proxy = config.proxy.apply(validation);
+        let proxy = {
+            let _proxy_sp = falcc_telemetry::span("offline.proxy");
+            config.proxy.apply(validation)
+        };
 
         // §3.5 clustering of the projected validation set.
-        let projected = validation.project(&proxy.attrs, proxy.weights.as_deref());
-        let k = match config.clustering {
-            ClusterSpec::FixedK(k) => k,
-            ClusterSpec::LogMeans => {
-                let est = KEstimateConfig::for_rows(projected.n_rows, config.seed);
-                log_means(&projected, &est)
-            }
-            ClusterSpec::Elbow => {
-                let est = KEstimateConfig::for_rows(projected.n_rows, config.seed);
-                elbow_k(&projected, &est)
+        let projected = {
+            let _proj_sp = falcc_telemetry::span("offline.projection");
+            validation.project(&proxy.attrs, proxy.weights.as_deref())
+        };
+        let k = {
+            let _k_sp = falcc_telemetry::span("offline.k_estimation");
+            match config.clustering {
+                ClusterSpec::FixedK(k) => k,
+                ClusterSpec::LogMeans => {
+                    let est = KEstimateConfig::for_rows(projected.n_rows, config.seed);
+                    log_means(&projected, &est)
+                }
+                ClusterSpec::Elbow => {
+                    let est = KEstimateConfig::for_rows(projected.n_rows, config.seed);
+                    elbow_k(&projected, &est)
+                }
             }
         };
-        let kmeans = KMeans::new(k, config.seed).fit(&projected);
+        let kmeans = {
+            let _cluster_sp = falcc_telemetry::span_labeled("offline.clustering", format!("k={k}"));
+            KMeans::new(k, config.seed).fit(&projected)
+        };
+        falcc_telemetry::gauges::OFFLINE_CLUSTERS.set(kmeans.k() as u64);
+        falcc_telemetry::gauges::OFFLINE_POOL_SIZE.set(pool.len() as u64);
 
         // Gap filling (§3.5): make sure every cluster's assessment set has
         // members of every group, pulling in the nearest representatives.
-        let tree = KdTree::build(projected);
-        let assessment_sets =
-            gap_fill(&kmeans, &tree, validation, n_groups, config.gap_fill_k);
+        let (tree, assessment_sets) = {
+            let _gap_sp = falcc_telemetry::span("offline.gap_fill");
+            let tree = KdTree::build(projected);
+            let sets = gap_fill(&kmeans, &tree, validation, n_groups, config.gap_fill_k);
+            (tree, sets)
+        };
 
         // §3.3 candidate combinations; §3.6 assessment.
         let candidates = enumerate_combinations(&pool, n_groups);
@@ -117,12 +138,17 @@ impl FalccModel {
             return Err(FalccError::NoApplicableModel { group: uncovered });
         }
 
+        falcc_telemetry::gauges::OFFLINE_COMBINATIONS.set(candidates.len() as u64);
+
         // Precompute every pool model's predictions on the validation set
         // once — assessment then only gathers. Models predict
         // independently, so this fans out across threads.
-        let preds: Vec<Vec<u8>> = parallel_map(&pool.models, config.threads, |_, m| {
-            predict_dataset(m.model.as_ref(), validation)
-        });
+        let preds: Vec<Vec<u8>> = {
+            let _preds_sp = falcc_telemetry::span("offline.pool_predictions");
+            parallel_map(&pool.models, config.threads, |_, m| {
+                predict_dataset(m.model.as_ref(), validation)
+            })
+        };
 
         // Within a numerical tolerance of the best loss, prefer the
         // combination using the *fewest distinct models*: near-ties are
@@ -138,7 +164,13 @@ impl FalccModel {
         // Clusters are assessed independently (shared read-only inputs,
         // no randomness), so the per-cluster loop fans out across threads;
         // the ordered merge keeps `combos[c]` aligned with cluster `c`.
-        let combos = parallel_map(&assessment_sets, config.threads, |_, members| {
+        // Worker spans parent under the assessment span by explicit id
+        // with the cluster index as ordinal (deterministic tree for every
+        // thread count).
+        let assess_sp = falcc_telemetry::span("offline.assessment");
+        let assess_sp_id = assess_sp.id();
+        let combos = parallel_map(&assessment_sets, config.threads, |c, members| {
+            let _w = falcc_telemetry::span_under(assess_sp_id, "offline.assess_cluster", c as u64);
             let y: Vec<u8> = members.iter().map(|&i| validation.label(i)).collect();
             let g: Vec<GroupId> = members.iter().map(|&i| validation.group(i)).collect();
             // Individual-fairness mode (§3.6): each member's k nearest
@@ -199,6 +231,7 @@ impl FalccModel {
                 .1;
             candidates[chosen].clone()
         });
+        drop(assess_sp);
 
         let centroid_norms = kmeans.centroid_norms();
         Ok(Self {

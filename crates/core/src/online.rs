@@ -42,7 +42,17 @@ impl FalccModel {
             .group_index()
             .group_of(row)
             .expect("sample's sensitive attributes must be in-domain");
-        let cluster = self.kmeans().predict_pruned(projected, self.centroid_norms());
+        // Both arms run the identical match; the enabled arm additionally
+        // times it. The disabled path never reads the clock.
+        let cluster = if falcc_telemetry::enabled() {
+            let t0 = std::time::Instant::now();
+            let cluster = self.kmeans().predict_pruned(projected, self.centroid_norms());
+            falcc_telemetry::histograms::ONLINE_MATCH_NS.record_ns(t0.elapsed());
+            falcc_telemetry::counters::ONLINE_SAMPLES.incr();
+            cluster
+        } else {
+            self.kmeans().predict_pruned(projected, self.centroid_norms())
+        };
         let model_idx = self.combo(cluster)[group.index()];
         self.pool().models[model_idx].model.predict_row(row)
     }
@@ -60,6 +70,7 @@ impl FalccModel {
     /// As [`Self::classify`], if a row's sensitive values are
     /// out-of-domain.
     pub fn classify_batch(&self, rows: &[Vec<f64>]) -> Vec<u8> {
+        let _sp = falcc_telemetry::span("online.classify_batch");
         let proxy = self.proxy_outcome();
         let projected = falcc_dataset::Dataset::project_rows(
             rows,
@@ -85,6 +96,7 @@ impl FairClassifier for FalccModel {
     /// (ordered merge, no per-thread state, one batch-level projection
     /// buffer instead of one allocation per sample), higher throughput.
     fn predict_dataset(&self, ds: &falcc_dataset::Dataset) -> Vec<u8> {
+        let _sp = falcc_telemetry::span("online.classify_batch");
         let proxy = self.proxy_outcome();
         let projected = ds.project(&proxy.attrs, proxy.weights.as_deref());
         parallel_map_range(ds.len(), self.threads(), |i| {

@@ -86,6 +86,7 @@ impl ProxyStrategy {
                     // clustering needs at least one dimension.
                     ProxyOutcome { attrs: non_sens, weights: None, removed: Vec::new() }
                 } else {
+                    falcc_telemetry::counters::PROXY_ATTRS_REMOVED.add(removed.len() as u64);
                     ProxyOutcome { attrs: kept, weights: None, removed }
                 }
             }

@@ -67,6 +67,7 @@ pub fn auto_tune(
     base: &FalccConfig,
 ) -> Result<TuningReport, FalccError> {
     base.validate()?;
+    let _sp = falcc_telemetry::span("tuning.auto_tune");
     let n = validation.len();
     if n < 10 {
         return Err(FalccError::Dataset(falcc_dataset::DatasetError::Empty));
@@ -81,12 +82,18 @@ pub fn auto_tune(
 
     let mut trials = Vec::new();
     for (clustering, pool_size) in candidate_grid() {
+        let _trial_sp = falcc_telemetry::span_labeled(
+            "tuning.trial",
+            format!("clustering={clustering:?}, pool_size={pool_size}"),
+        );
+        falcc_telemetry::counters::TUNING_TRIALS.incr();
         let mut cfg = base.clone();
         cfg.clustering = clustering;
         cfg.pool.pool_size = pool_size;
         // A candidate can fail (e.g. a tiny assess slice missing a group);
         // skip it rather than aborting the search.
         let Ok(model) = FalccModel::fit(train, &assess, &cfg) else {
+            falcc_telemetry::counters::TUNING_TRIALS_FAILED.incr();
             continue;
         };
         let preds = model.predict_dataset(&holdout);

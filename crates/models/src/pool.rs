@@ -103,17 +103,26 @@ impl ModelPool {
     /// # Panics
     /// Panics if `train` is empty (propagated from the trainers).
     pub fn train_diverse(train: &Dataset, diversity_eval: &Dataset, cfg: &PoolConfig) -> Self {
+        let _sp = falcc_telemetry::span("pool.train_diverse");
         let attrs: Vec<usize> = (0..train.n_attrs()).collect();
         let all_idx: Vec<usize> = (0..train.len()).collect();
         let grid = paper_grid(cfg.trainer);
+        falcc_telemetry::counters::POOL_GRID_POINTS.add(grid.len() as u64);
         // Grid points are independent: fit them in parallel. Each point's
         // seed is a function of its grid index only, and `parallel_map`
         // returns results in grid order, so the pool is identical for
-        // every thread count.
+        // every thread count. Worker spans parent under the grid-fit span
+        // by explicit id with the grid index as ordinal, so the trace tree
+        // is likewise identical for every thread count.
+        let grid_sp = falcc_telemetry::span("pool.grid_fit");
+        let grid_sp_id = grid_sp.id();
         let candidates: Vec<Arc<dyn Classifier>> = parallel_map(&grid, cfg.threads, |i, p| {
+            let _w = falcc_telemetry::span_under(grid_sp_id, "pool.grid_point", i as u64);
             p.fit(train, &attrs, &all_idx, cfg.seed ^ (i as u64) << 8)
         });
+        drop(grid_sp);
 
+        let sel_sp = falcc_telemetry::span("pool.diversity_select");
         let keep = if cfg.pool_size == 0 || cfg.pool_size >= candidates.len() {
             (0..candidates.len()).collect()
         } else {
@@ -145,12 +154,15 @@ impl ModelPool {
             }
         };
 
+        drop(sel_sp);
+
         let mut models: Vec<TrainedModel> = keep
             .into_iter()
             .map(|i| TrainedModel { model: candidates[i].clone(), group: None })
             .collect();
 
         if cfg.split_by_group {
+            let _split_sp = falcc_telemetry::span("pool.split_training");
             // Group partitions are likewise independent; seeds depend on
             // the group id, and the ordered merge keeps the pool layout
             // stable across thread counts.

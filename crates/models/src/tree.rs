@@ -246,6 +246,7 @@ impl Builder<'_> {
         let candidates = self.candidate_features();
         let parent_imp = self.params.criterion.impurity(p);
         let mut best: Option<(AttrId, f64, f64)> = None; // (attr, threshold, gain)
+        let mut evaluated = 0u64;
 
         for &attr in &candidates {
             // Sort items by this attribute's value.
@@ -278,6 +279,7 @@ impl Builder<'_> {
                 let imp_r = self.params.criterion.impurity(right_pos / right_w);
                 let gain =
                     parent_imp - (left_w * imp_l + right_w * imp_r) / total_w;
+                evaluated += 1;
                 // Accept the best split even at zero gain (scikit-learn
                 // semantics): XOR-like concepts have zero first-level gain
                 // and are only separable if we split anyway.
@@ -286,6 +288,7 @@ impl Builder<'_> {
                 }
             }
         }
+        falcc_telemetry::counters::SPLITS_EVALUATED.add(evaluated);
 
         let Some((attr, threshold, _)) = best else {
             self.nodes.push(Node::Leaf { proba: p });
@@ -463,6 +466,7 @@ impl<'a> FastBuilder<'a> {
             sample_candidates(self.attrs, self.params.max_features, &mut self.rng);
         let parent_imp = self.params.criterion.impurity(p);
         let mut best: Option<(AttrId, f64, f64)> = None; // (attr, threshold, gain)
+        let mut evaluated = 0u64;
 
         for &attr in &candidates {
             let base = self.attr_index(attr) * self.n;
@@ -493,11 +497,13 @@ impl<'a> FastBuilder<'a> {
                 let imp_r = self.params.criterion.impurity(right_pos / right_w);
                 let gain =
                     parent_imp - (left_w * imp_l + right_w * imp_r) / total_w;
+                evaluated += 1;
                 if gain > best.map_or(f64::NEG_INFINITY, |(_, _, g)| g) {
                     best = Some((attr, 0.5 * (v_prev + v_here), gain));
                 }
             }
         }
+        falcc_telemetry::counters::SPLITS_EVALUATED.add(evaluated);
 
         let Some((attr, threshold, _)) = best else {
             self.nodes.push(Node::Leaf { proba: p });
