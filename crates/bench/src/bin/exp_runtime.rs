@@ -41,6 +41,7 @@ fn batched_micros(model: &FalccModel, rows: &[Vec<f64>], reps: usize) -> f64 {
             let preds = model.classify_batch(rows);
             let elapsed = start.elapsed().as_nanos() as f64;
             assert_eq!(preds.len(), rows.len());
+            assert!(preds.iter().all(Result::is_ok));
             elapsed / rows.len() as f64 / 1_000.0
         })
         .collect();

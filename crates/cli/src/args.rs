@@ -2,7 +2,7 @@
 //! policy admits no CLI crate).
 
 use crate::CliError;
-use falcc::{ClusterSpec, ProxyStrategy};
+use falcc::{ClusterSpec, FaultPlan, ProxyStrategy};
 use falcc_metrics::FairnessMetric;
 
 /// The parsed subcommand with its options.
@@ -80,6 +80,9 @@ pub struct RunArgs {
     pub scale: f64,
     /// Worker threads (0 = available parallelism).
     pub threads: usize,
+    /// Deterministic fault-injection schedule from `--inject` (empty by
+    /// default) — demonstrates the degradation paths end to end.
+    pub faults: FaultPlan,
 }
 
 /// `falcc train` options.
@@ -258,7 +261,8 @@ fn parse_train(args: &[String]) -> Result<Command, CliError> {
 }
 
 fn parse_run(args: &[String]) -> Result<Command, CliError> {
-    let mut out = RunArgs { seed: 11, scale: 0.10, threads: 0 };
+    let mut out =
+        RunArgs { seed: 11, scale: 0.10, threads: 0, faults: FaultPlan::default() };
     let mut cur = Cursor { args, at: 0 };
     while cur.at < cur.args.len() {
         let flag = cur.args[cur.at].clone();
@@ -269,6 +273,7 @@ fn parse_run(args: &[String]) -> Result<Command, CliError> {
             "--threads" => {
                 out.threads = parse_num(cur.next_value("--threads")?, "--threads")?
             }
+            "--inject" => out.faults = parse_inject(cur.next_value("--inject")?)?,
             other => return Err(CliError::usage(format!("unknown flag {other}"))),
         }
     }
@@ -276,6 +281,42 @@ fn parse_run(args: &[String]) -> Result<Command, CliError> {
         return Err(CliError::usage("--scale must be in (0, 1]"));
     }
     Ok(Command::Run(out))
+}
+
+/// Parses an `--inject` fault schedule: comma-separated
+/// `pool:<i>` | `trial:<i>` | `cluster:<c>` | `row:<i>` | `drop:<c>/<g>`
+/// items, e.g. `--inject pool:1,cluster:0,drop:2/1`.
+fn parse_inject(spec: &str) -> Result<FaultPlan, CliError> {
+    let mut plan = FaultPlan::default();
+    for item in spec.split(',').filter(|s| !s.trim().is_empty()) {
+        let item = item.trim();
+        let bad =
+            || CliError::usage(format!("invalid --inject item {item:?}; see --help"));
+        let (kind, value) = item.split_once(':').ok_or_else(bad)?;
+        match kind {
+            "pool" => {
+                plan.fail_pool_member(value.parse().map_err(|_| bad())?);
+            }
+            "trial" => {
+                plan.fail_tuning_trial(value.parse().map_err(|_| bad())?);
+            }
+            "cluster" => {
+                plan.empty_cluster(value.parse().map_err(|_| bad())?);
+            }
+            "row" => {
+                plan.poison_row(value.parse().map_err(|_| bad())?);
+            }
+            "drop" => {
+                let (c, g) = value.split_once('/').ok_or_else(bad)?;
+                plan.drop_group_in_region(
+                    c.parse().map_err(|_| bad())?,
+                    g.parse().map_err(|_| bad())?,
+                );
+            }
+            _ => return Err(bad()),
+        }
+    }
+    Ok(plan)
 }
 
 fn parse_predict(args: &[String]) -> Result<Command, CliError> {
@@ -424,12 +465,48 @@ mod tests {
     #[test]
     fn run_defaults_and_flags() {
         let cmd = parse(&v(&["run"])).unwrap();
-        assert_eq!(cmd, Command::Run(RunArgs { seed: 11, scale: 0.10, threads: 0 }));
+        assert_eq!(
+            cmd,
+            Command::Run(RunArgs {
+                seed: 11,
+                scale: 0.10,
+                threads: 0,
+                faults: FaultPlan::default(),
+            })
+        );
         let cmd =
             parse(&v(&["run", "--seed", "3", "--scale", "0.25", "--threads", "2"])).unwrap();
-        assert_eq!(cmd, Command::Run(RunArgs { seed: 3, scale: 0.25, threads: 2 }));
+        assert_eq!(
+            cmd,
+            Command::Run(RunArgs {
+                seed: 3,
+                scale: 0.25,
+                threads: 2,
+                faults: FaultPlan::default(),
+            })
+        );
         assert_eq!(parse(&v(&["run", "--scale", "0"])).unwrap_err().exit_code, 2);
         assert_eq!(parse(&v(&["run", "--scale", "1.5"])).unwrap_err().exit_code, 2);
+    }
+
+    #[test]
+    fn inject_specs_parse_into_fault_plans() {
+        let cmd = parse(&v(&["run", "--inject", "pool:1,cluster:0,drop:2/1,row:3,trial:4"]))
+            .unwrap();
+        let Command::Run(r) = cmd else { panic!("expected run") };
+        let mut expected = FaultPlan::default();
+        expected
+            .fail_pool_member(1)
+            .empty_cluster(0)
+            .drop_group_in_region(2, 1)
+            .poison_row(3)
+            .fail_tuning_trial(4);
+        assert_eq!(r.faults, expected);
+
+        for bad in ["pool", "pool:x", "drop:2", "drop:a/b", "gremlin:1"] {
+            let err = parse(&v(&["run", "--inject", bad])).unwrap_err();
+            assert_eq!(err.exit_code, 2, "{bad}");
+        }
     }
 
     #[test]

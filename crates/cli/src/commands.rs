@@ -44,13 +44,19 @@ fn run_demo(args: RunArgs) -> Result<String, CliError> {
     let split = ThreeWaySplit::split(&data, SplitRatios::PAPER, args.seed)
         .map_err(|e| CliError::runtime(format!("splitting data: {e}")))?;
 
+    let injecting = !args.faults.is_empty();
     let config = FalccConfig {
         proxy: falcc::ProxyStrategy::PAPER_REMOVE,
         seed: args.seed,
         threads: args.threads,
+        faults: args.faults,
         ..FalccConfig::default()
     };
-    falcc_telemetry::progress("fitting FALCC (offline phase)");
+    falcc_telemetry::progress(if injecting {
+        "fitting FALCC (offline phase, with injected faults)"
+    } else {
+        "fitting FALCC (offline phase)"
+    });
     let model = FalccModel::fit(&split.train, &split.validation, &config)
         .map_err(|e| CliError::runtime(format!("fitting FALCC: {e}")))?;
     falcc_telemetry::progress("classifying test split (online phase)");
@@ -75,6 +81,27 @@ fn run_demo(args: RunArgs) -> Result<String, CliError> {
         accuracy(y, &preds) * 100.0,
         FairnessMetric::DemographicParity.bias(y, &preds, g, n_groups) * 100.0
     );
+    if injecting {
+        // Degradation counters record only while telemetry is on; without
+        // it, still confirm the run was degraded-by-design.
+        if falcc_telemetry::enabled() {
+            let _ = writeln!(
+                out,
+                "injected faults: {} fired, {} pool member(s) quarantined, \
+                 {} degenerate region(s), {} region fallback(s)",
+                falcc_telemetry::counters::FAULTS_INJECTED.get(),
+                falcc_telemetry::counters::POOL_MEMBERS_QUARANTINED.get(),
+                falcc_telemetry::counters::DEGENERATE_CLUSTERS.get(),
+                falcc_telemetry::counters::REGION_GROUP_FALLBACKS.get()
+                    + falcc_telemetry::counters::REGION_GLOBAL_FALLBACKS.get(),
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "injected faults were active (add --profile for degradation counters)"
+            );
+        }
+    }
     Ok(out)
 }
 

@@ -97,6 +97,7 @@ USAGE:
   falcc audit   --model <model.json> --data <csv>
   falcc info    --model <model.json>
   falcc run     [--seed <u64>] [--scale <0..1>] [--threads <n>]
+                [--inject <spec>]
 
 GLOBAL FLAGS (any subcommand):
   --profile            print a per-phase span tree and metrics afterwards
@@ -106,6 +107,13 @@ GLOBAL FLAGS (any subcommand):
 `falcc run` fits and classifies a synthetic benchmark dataset end to end —
 no input files needed; combine with --profile / --trace-out to inspect the
 pipeline, e.g. `falcc run --profile --trace-out trace.jsonl`.
+
+--inject arms the deterministic fault harness for the demo run: a comma-
+separated list of pool:<i> (quarantine pool member i), trial:<i> (fail
+tuning trial i), cluster:<c> (empty region c), drop:<c>/<g> (remove group
+g from region c), row:<i> (poison online batch row i) — e.g.
+`falcc run --inject pool:1,cluster:0 --profile` shows graceful
+degradation plus its counters.
 
 CSV format: header row, numeric cells, binary label in the last column.
 Sensitive columns must be 0/1-coded.

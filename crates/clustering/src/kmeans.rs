@@ -245,13 +245,18 @@ fn apply_update(
             old.extend_from_slice(&centroids[c]);
         }
         if counts[c] == 0 {
+            // Degenerate cluster: re-seed rather than divide by zero. The
+            // total order keeps this deterministic even under (injected)
+            // non-finite coordinates, and the counter surfaces how often
+            // the data forces the collapse fix.
+            falcc_telemetry::counters::KMEANS_EMPTY_RESEEDS.incr();
             let far = (0..x.n_rows)
                 .max_by(|&a, &b| {
                     let da = sq_dist(x.row(a), &centroids[assignments[a]]);
                     let db = sq_dist(x.row(b), &centroids[assignments[b]]);
-                    da.partial_cmp(&db).expect("distances are finite")
+                    da.total_cmp(&db)
                 })
-                .expect("non-empty matrix");
+                .unwrap_or(0);
             centroids[c] = x.row(far).to_vec();
         } else {
             for j in 0..d {
@@ -436,8 +441,8 @@ pub fn extend_centroids(x: &ProjectedMatrix, mut centroids: Vec<Vec<f64>>, k: us
         .collect();
     while centroids.len() < k.min(x.n_rows.max(1)) {
         let far = (0..x.n_rows)
-            .max_by(|&a, &b| min_dist[a].partial_cmp(&min_dist[b]).expect("finite"))
-            .expect("non-empty matrix");
+            .max_by(|&a, &b| min_dist[a].total_cmp(&min_dist[b]))
+            .unwrap_or(0);
         let c = x.row(far).to_vec();
         for (i, md) in min_dist.iter_mut().enumerate() {
             *md = md.min(sq_dist(x.row(i), &c));

@@ -1,5 +1,6 @@
 //! FALCC pipeline configuration.
 
+use crate::faults::FaultPlan;
 use crate::proxy::ProxyStrategy;
 use falcc_metrics::{FairnessMetric, LossConfig};
 use falcc_models::PoolConfig;
@@ -47,6 +48,13 @@ pub struct FalccConfig {
     ///
     /// [`fit`]: crate::FalccModel::fit
     pub threads: usize,
+    /// Graceful-degradation floor: after quarantining failed or unsound
+    /// pool members, at least this many must survive or fitting aborts
+    /// with [`crate::FalccError::PoolDepleted`]. Must be ≥ 1.
+    pub min_pool_size: usize,
+    /// Deterministic fault-injection schedule (testing only — the default
+    /// empty plan injects nothing). See [`crate::faults`].
+    pub faults: FaultPlan,
 }
 
 impl Default for FalccConfig {
@@ -60,6 +68,8 @@ impl Default for FalccConfig {
             individual_assessment_k: None,
             seed: 0,
             threads: 0,
+            min_pool_size: 1,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -97,6 +107,11 @@ impl FalccConfig {
                 detail: "individual_assessment_k must be at least 1".into(),
             });
         }
+        if self.min_pool_size == 0 {
+            return Err(crate::FalccError::InvalidConfig {
+                detail: "min_pool_size must be at least 1".into(),
+            });
+        }
         Ok(())
     }
 }
@@ -129,5 +144,15 @@ mod tests {
         let mut cfg = FalccConfig::default();
         cfg.loss.lambda = 1.5;
         assert!(cfg.validate().is_err());
+
+        let mut cfg = FalccConfig::default();
+        cfg.min_pool_size = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn default_injects_no_faults() {
+        assert!(FalccConfig::default().faults.is_empty());
+        assert_eq!(FalccConfig::default().min_pool_size, 1);
     }
 }

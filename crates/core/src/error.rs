@@ -25,6 +25,32 @@ pub enum FalccError {
         /// Human-readable description.
         detail: String,
     },
+    /// So many pool members were quarantined (training failures, non-finite
+    /// predictions) that the surviving pool fell below the configured
+    /// floor. Graceful degradation stops here: a pool this thin cannot
+    /// honour the diversity assumption of §3.3.
+    PoolDepleted {
+        /// Members still usable after quarantine.
+        survivors: usize,
+        /// Members removed by quarantine.
+        quarantined: usize,
+        /// The configured [`crate::FalccConfig::min_pool_size`] floor.
+        min_pool_size: usize,
+    },
+    /// A model snapshot failed an integrity check: bad envelope, checksum
+    /// mismatch, truncation, or an unparseable payload.
+    SnapshotCorrupt {
+        /// What exactly failed to verify.
+        detail: String,
+    },
+    /// A model snapshot has a valid envelope but was written by a
+    /// different format version.
+    SnapshotVersionSkew {
+        /// Version recorded in the snapshot.
+        found: u32,
+        /// Version this build reads and writes.
+        expected: u32,
+    },
 }
 
 impl fmt::Display for FalccError {
@@ -38,9 +64,63 @@ impl fmt::Display for FalccError {
                 write!(f, "validation data contains no sample of group {group}")
             }
             Self::InvalidConfig { detail } => write!(f, "invalid configuration: {detail}"),
+            Self::PoolDepleted { survivors, quarantined, min_pool_size } => write!(
+                f,
+                "model pool depleted: {survivors} members survive after quarantining \
+                 {quarantined} (minimum {min_pool_size})"
+            ),
+            Self::SnapshotCorrupt { detail } => {
+                write!(f, "snapshot corrupt: {detail}")
+            }
+            Self::SnapshotVersionSkew { found, expected } => write!(
+                f,
+                "snapshot format v{found} unsupported (this build reads v{expected})"
+            ),
         }
     }
 }
+
+/// Why one row of an online batch was rejected instead of classified.
+///
+/// [`crate::FalccModel::classify_batch`] returns one `Result` per row so a
+/// single poisoned sample degrades to one typed error instead of poisoning
+/// (or panicking) the whole batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RowFault {
+    /// The row has the wrong number of attributes for the fitted schema.
+    WrongWidth {
+        /// Attribute count the schema declares.
+        expected: usize,
+        /// Attribute count the row carries.
+        found: usize,
+    },
+    /// The row carries a NaN or infinite feature value.
+    NonFinite {
+        /// First offending column.
+        column: usize,
+    },
+    /// The row's sensitive values fall outside the declared domains, so it
+    /// belongs to no known group.
+    GroupOutOfDomain,
+}
+
+impl fmt::Display for RowFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::WrongWidth { expected, found } => {
+                write!(f, "row has {found} attributes, schema expects {expected}")
+            }
+            Self::NonFinite { column } => {
+                write!(f, "non-finite feature value in column {column}")
+            }
+            Self::GroupOutOfDomain => {
+                write!(f, "sensitive attribute values outside the declared domains")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RowFault {}
 
 impl std::error::Error for FalccError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
@@ -67,5 +147,24 @@ mod tests {
         assert!(FalccError::GroupAbsent { group: 1 }.to_string().contains("group 1"));
         let e: FalccError = DatasetError::Empty.into();
         assert!(e.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn robustness_variants_format() {
+        let msg = FalccError::PoolDepleted { survivors: 1, quarantined: 4, min_pool_size: 2 }
+            .to_string();
+        assert!(msg.contains('1') && msg.contains('4') && msg.contains('2'), "{msg}");
+        assert!(FalccError::SnapshotCorrupt { detail: "checksum".into() }
+            .to_string()
+            .contains("checksum"));
+        let msg = FalccError::SnapshotVersionSkew { found: 9, expected: 2 }.to_string();
+        assert!(msg.contains("v9") && msg.contains("v2"), "{msg}");
+    }
+
+    #[test]
+    fn row_fault_formats() {
+        assert!(RowFault::WrongWidth { expected: 3, found: 2 }.to_string().contains("3"));
+        assert!(RowFault::NonFinite { column: 5 }.to_string().contains("column 5"));
+        assert!(!RowFault::GroupOutOfDomain.to_string().is_empty());
     }
 }

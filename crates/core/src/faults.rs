@@ -1,0 +1,278 @@
+//! Deterministic fault injection for the FALCC pipeline.
+//!
+//! Robustness claims are only testable if failures can be *provoked on
+//! demand and reproduced exactly*. A [`FaultPlan`] is a declarative
+//! schedule of faults, each keyed by a **site** (which pipeline stage) and
+//! an **ordinal** (which item at that stage — pool member index, tuning
+//! grid position, cluster index, batch row index). Because every parallel
+//! stage in this workspace processes items by index with an ordered merge
+//! (see `falcc_models::parallel_map`), keying injections by ordinal makes
+//! the schedule — and therefore the degraded output — **bit-identical for
+//! every thread count**. The determinism suite exploits exactly that: the
+//! same plan at 1, 2, and 8 threads must produce the same degraded model.
+//!
+//! The plan is plain data: arming a fault never touches a clock or a
+//! global RNG, and an empty plan (the default, used by every production
+//! path) adds one `BTreeSet` lookup per guarded item. Each *firing* is
+//! counted on the `faults.injected` telemetry counter so a test can assert
+//! the schedule actually executed.
+//!
+//! ```
+//! use falcc::faults::{FaultPlan, FaultSite};
+//!
+//! let mut plan = FaultPlan::default();
+//! plan.fail_pool_member(2);
+//! plan.empty_cluster(0);
+//! assert!(plan.fires(FaultSite::PoolMember, 2));
+//! assert!(!plan.fires(FaultSite::PoolMember, 3));
+//! ```
+
+use std::collections::BTreeSet;
+
+/// A pipeline stage where a fault can be injected. The meaning of the
+/// ordinal differs per site — always an *input-order index*, never a
+/// scheduling-order one, so injection is thread-count independent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultSite {
+    /// Pool-member training failure. Ordinal: the member's index in the
+    /// trained pool. The member is quarantined before assessment.
+    PoolMember,
+    /// Tuning-trial failure. Ordinal: the candidate's position in the
+    /// tuning grid. The trial is skipped, as if its fit had failed.
+    TuningTrial,
+    /// Degenerate cluster: the region's assessment set is emptied *after*
+    /// gap filling. Ordinal: the cluster index.
+    ClusterEmpty,
+    /// Poisoned online sample: the batch row behaves as if it carried a
+    /// non-finite feature. Ordinal: the row index within the batch.
+    NonFiniteRow,
+}
+
+/// A deterministic schedule of injected faults. See the module docs.
+///
+/// The default (empty) plan injects nothing and is what every production
+/// code path carries.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    armed: BTreeSet<(FaultSite, u64)>,
+    /// `(cluster, group)` pairs whose validation rows are dropped from the
+    /// region's assessment set after gap filling.
+    group_drops: BTreeSet<(u64, u16)>,
+    /// Byte offset to XOR-flip in a serialised snapshot.
+    snapshot_flip: Option<usize>,
+    /// Length to truncate a serialised snapshot to.
+    snapshot_truncate: Option<usize>,
+}
+
+impl FaultPlan {
+    /// True when the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.armed.is_empty()
+            && self.group_drops.is_empty()
+            && self.snapshot_flip.is_none()
+            && self.snapshot_truncate.is_none()
+    }
+
+    /// Arms a training failure for pool member `index`.
+    pub fn fail_pool_member(&mut self, index: u64) -> &mut Self {
+        self.armed.insert((FaultSite::PoolMember, index));
+        self
+    }
+
+    /// Arms a failure of tuning-grid candidate `ordinal`.
+    pub fn fail_tuning_trial(&mut self, ordinal: u64) -> &mut Self {
+        self.armed.insert((FaultSite::TuningTrial, ordinal));
+        self
+    }
+
+    /// Arms emptying of cluster `cluster`'s assessment set.
+    pub fn empty_cluster(&mut self, cluster: u64) -> &mut Self {
+        self.armed.insert((FaultSite::ClusterEmpty, cluster));
+        self
+    }
+
+    /// Arms removal of group `group`'s rows from region `cluster`'s
+    /// assessment set (a *missing-group region*).
+    pub fn drop_group_in_region(&mut self, cluster: u64, group: u16) -> &mut Self {
+        self.group_drops.insert((cluster, group));
+        self
+    }
+
+    /// Arms poisoning of batch row `row` in the online phase.
+    pub fn poison_row(&mut self, row: u64) -> &mut Self {
+        self.armed.insert((FaultSite::NonFiniteRow, row));
+        self
+    }
+
+    /// Arms an XOR bit-flip of snapshot byte `offset` (modulo length) for
+    /// [`Self::mangle_snapshot`].
+    pub fn flip_snapshot_byte(&mut self, offset: usize) -> &mut Self {
+        self.snapshot_flip = Some(offset);
+        self
+    }
+
+    /// Arms truncation of the snapshot to `len` bytes for
+    /// [`Self::mangle_snapshot`].
+    pub fn truncate_snapshot(&mut self, len: usize) -> &mut Self {
+        self.snapshot_truncate = Some(len);
+        self
+    }
+
+    /// A pseudo-random plan derived entirely from `seed`: arms one fault
+    /// per site with a SplitMix64-derived ordinal below the given bounds.
+    /// Two calls with the same seed arm the identical schedule — handy for
+    /// fuzzing degraded pipelines reproducibly.
+    pub fn seeded(seed: u64, pool_size: u64, clusters: u64, batch_rows: u64) -> Self {
+        let mut state = seed;
+        let mut next = move || {
+            // SplitMix64: the canonical seed expander, no dependencies.
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mut plan = Self::default();
+        if pool_size > 0 {
+            plan.fail_pool_member(next() % pool_size);
+        }
+        if clusters > 0 {
+            plan.empty_cluster(next() % clusters);
+        }
+        if batch_rows > 0 {
+            plan.poison_row(next() % batch_rows);
+        }
+        plan
+    }
+
+    /// Whether the fault armed at `(site, ordinal)` fires. Each firing is
+    /// counted on the `faults.injected` telemetry counter.
+    pub fn fires(&self, site: FaultSite, ordinal: u64) -> bool {
+        let hit = self.armed.contains(&(site, ordinal));
+        if hit {
+            falcc_telemetry::counters::FAULTS_INJECTED.incr();
+            if falcc_telemetry::enabled() {
+                falcc_telemetry::event(
+                    "faults.fired",
+                    format!("{site:?} ordinal {ordinal}"),
+                );
+            }
+        }
+        hit
+    }
+
+    /// The groups whose rows are dropped from region `cluster`, in
+    /// ascending order. Each returned drop counts as one injected fault.
+    pub fn dropped_groups(&self, cluster: u64) -> Vec<u16> {
+        let dropped: Vec<u16> = self
+            .group_drops
+            .range((cluster, u16::MIN)..=(cluster, u16::MAX))
+            .map(|&(_, g)| g)
+            .collect();
+        if !dropped.is_empty() {
+            falcc_telemetry::counters::FAULTS_INJECTED.add(dropped.len() as u64);
+        }
+        dropped
+    }
+
+    /// Applies the armed snapshot corruptions (bit flip, truncation) to a
+    /// serialised snapshot in place. No-op when neither is armed.
+    pub fn mangle_snapshot(&self, bytes: &mut Vec<u8>) {
+        if let Some(off) = self.snapshot_flip {
+            if !bytes.is_empty() {
+                let i = off % bytes.len();
+                bytes[i] ^= 0x01;
+                falcc_telemetry::counters::FAULTS_INJECTED.incr();
+            }
+        }
+        if let Some(len) = self.snapshot_truncate {
+            if len < bytes.len() {
+                bytes.truncate(len);
+                falcc_telemetry::counters::FAULTS_INJECTED.incr();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_empty_and_never_fires() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_empty());
+        for site in [
+            FaultSite::PoolMember,
+            FaultSite::TuningTrial,
+            FaultSite::ClusterEmpty,
+            FaultSite::NonFiniteRow,
+        ] {
+            for ordinal in 0..8 {
+                assert!(!plan.fires(site, ordinal));
+            }
+        }
+        assert!(plan.dropped_groups(0).is_empty());
+        let mut bytes = b"snapshot".to_vec();
+        plan.mangle_snapshot(&mut bytes);
+        assert_eq!(bytes, b"snapshot");
+    }
+
+    #[test]
+    fn armed_faults_fire_exactly_where_armed() {
+        let mut plan = FaultPlan::default();
+        plan.fail_pool_member(1).fail_tuning_trial(4).empty_cluster(2).poison_row(7);
+        assert!(!plan.is_empty());
+        assert!(plan.fires(FaultSite::PoolMember, 1));
+        assert!(!plan.fires(FaultSite::PoolMember, 2));
+        assert!(plan.fires(FaultSite::TuningTrial, 4));
+        assert!(plan.fires(FaultSite::ClusterEmpty, 2));
+        assert!(!plan.fires(FaultSite::ClusterEmpty, 1));
+        assert!(plan.fires(FaultSite::NonFiniteRow, 7));
+    }
+
+    #[test]
+    fn group_drops_are_per_region() {
+        let mut plan = FaultPlan::default();
+        plan.drop_group_in_region(0, 1).drop_group_in_region(2, 0).drop_group_in_region(2, 1);
+        assert_eq!(plan.dropped_groups(0), vec![1]);
+        assert_eq!(plan.dropped_groups(1), Vec::<u16>::new());
+        assert_eq!(plan.dropped_groups(2), vec![0, 1]);
+    }
+
+    #[test]
+    fn snapshot_mangling_flips_and_truncates() {
+        let mut plan = FaultPlan::default();
+        plan.flip_snapshot_byte(3);
+        let mut bytes = vec![0u8; 8];
+        plan.mangle_snapshot(&mut bytes);
+        assert_eq!(bytes[3], 1);
+
+        let mut plan = FaultPlan::default();
+        plan.truncate_snapshot(5);
+        let mut bytes = vec![7u8; 8];
+        plan.mangle_snapshot(&mut bytes);
+        assert_eq!(bytes.len(), 5);
+        // Truncation longer than the buffer is a no-op.
+        let mut plan = FaultPlan::default();
+        plan.truncate_snapshot(100);
+        let mut bytes = vec![7u8; 8];
+        plan.mangle_snapshot(&mut bytes);
+        assert_eq!(bytes.len(), 8);
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible_and_bounded() {
+        let a = FaultPlan::seeded(42, 5, 4, 100);
+        let b = FaultPlan::seeded(42, 5, 4, 100);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        let c = FaultPlan::seeded(43, 5, 4, 100);
+        // Different seeds *may* collide per site, but the full schedule
+        // almost surely differs; at minimum it stays within bounds.
+        for ordinal in 5..10 {
+            assert!(!c.fires(FaultSite::PoolMember, ordinal));
+        }
+        assert_eq!(FaultPlan::seeded(1, 0, 0, 0), FaultPlan::default());
+    }
+}

@@ -43,9 +43,24 @@
 //! cluster count to 1 recovers global fairness, and swapping the
 //! assessment metric moves between the Tab. 3 definitions — both are plain
 //! configuration here.
+//!
+//! ## Robustness
+//!
+//! The pipeline degrades gracefully instead of panicking: failed pool
+//! members are quarantined (down to [`FalccConfig::min_pool_size`]),
+//! degenerate or group-starved regions borrow model choices from the
+//! nearest covering region (globally-best combination as the last
+//! resort), malformed online rows surface as per-row
+//! [`error::RowFault`]s, and snapshots are checksummed end to end. The
+//! [`faults`] module provides the deterministic injection harness the
+//! robustness suite drives all of this with; `clippy::unwrap_used` /
+//! `clippy::expect_used` are denied in non-test code.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod config;
 pub mod error;
+pub mod faults;
 pub mod framework;
 pub mod offline;
 pub mod online;
@@ -54,7 +69,8 @@ pub mod proxy;
 pub mod tuning;
 
 pub use config::{ClusterSpec, FalccConfig};
-pub use error::FalccError;
+pub use error::{FalccError, RowFault};
+pub use faults::{FaultPlan, FaultSite};
 pub use framework::FairClassifier;
 pub use offline::FalccModel;
 pub use persist::SavedFalccModel;

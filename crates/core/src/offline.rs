@@ -3,6 +3,7 @@
 
 use crate::config::{ClusterSpec, FalccConfig};
 use crate::error::FalccError;
+use crate::faults::{FaultPlan, FaultSite};
 use crate::proxy::ProxyOutcome;
 use falcc_clustering::{elbow_k, log_means, KEstimateConfig, KdTree, KMeans, KMeansModel};
 use falcc_dataset::{Dataset, GroupId};
@@ -35,6 +36,11 @@ pub struct FalccModel {
     /// the online nearest-centroid prune. Derived state — recomputed on
     /// restore, never serialised.
     pub(crate) centroid_norms: Vec<f64>,
+    /// Fault-injection schedule carried over from the fitting config so
+    /// the online phase honours [`FaultSite::NonFiniteRow`] injections.
+    /// Empty in production; never serialised (restored models get the
+    /// default plan).
+    pub(crate) faults: FaultPlan,
 }
 
 impl FalccModel {
@@ -70,13 +76,44 @@ impl FalccModel {
     /// Same conditions as [`Self::fit`].
     pub fn fit_with_pool(
         validation: &Dataset,
-        pool: ModelPool,
+        mut pool: ModelPool,
         config: &FalccConfig,
     ) -> Result<Self, FalccError> {
         config.validate()?;
         if pool.is_empty() {
             return Err(FalccError::NoApplicableModel { group: 0 });
         }
+
+        // Graceful degradation (quarantine): drop pool members whose
+        // training failed (injected via the fault plan) or that produce
+        // non-finite probabilities on a probe of the validation set, and
+        // continue with the survivors as long as the configured floor
+        // holds. A diverse pool tolerates losing members — that is the
+        // point of training several (§3.3).
+        let mut failed: Vec<usize> = (0..pool.len())
+            .filter(|&i| config.faults.fires(FaultSite::PoolMember, i as u64))
+            .collect();
+        failed.extend(pool.unsound_members(validation, 32));
+        failed.sort_unstable();
+        failed.dedup();
+        let quarantined = pool.quarantine(&failed);
+        if quarantined > 0 {
+            falcc_telemetry::counters::POOL_MEMBERS_QUARANTINED.add(quarantined as u64);
+            if falcc_telemetry::enabled() {
+                falcc_telemetry::event(
+                    "offline.quarantine",
+                    format!("{quarantined} pool member(s) quarantined, {} survive", pool.len()),
+                );
+            }
+        }
+        if pool.len() < config.min_pool_size {
+            return Err(FalccError::PoolDepleted {
+                survivors: pool.len(),
+                quarantined,
+                min_pool_size: config.min_pool_size,
+            });
+        }
+
         let group_index = validation.group_index().clone();
         let n_groups = group_index.len();
 
@@ -122,12 +159,28 @@ impl FalccModel {
 
         // Gap filling (§3.5): make sure every cluster's assessment set has
         // members of every group, pulling in the nearest representatives.
-        let (tree, assessment_sets) = {
+        let (tree, mut assessment_sets) = {
             let _gap_sp = falcc_telemetry::span("offline.gap_fill");
             let tree = KdTree::build(projected);
             let sets = gap_fill(&kmeans, &tree, validation, n_groups, config.gap_fill_k);
             (tree, sets)
         };
+
+        // Fault injection happens *after* gap filling on purpose: earlier
+        // damage would simply be healed by the gap filler, and the point
+        // is to exercise the degradation paths below it.
+        if !config.faults.is_empty() {
+            for (c, members) in assessment_sets.iter_mut().enumerate() {
+                if config.faults.fires(FaultSite::ClusterEmpty, c as u64) {
+                    members.clear();
+                    continue;
+                }
+                let dropped = config.faults.dropped_groups(c as u64);
+                if !dropped.is_empty() {
+                    members.retain(|&i| !dropped.contains(&validation.group(i).0));
+                }
+            }
+        }
 
         // §3.3 candidate combinations; §3.6 assessment.
         let candidates = enumerate_combinations(&pool, n_groups);
@@ -169,8 +222,21 @@ impl FalccModel {
         // thread count).
         let assess_sp = falcc_telemetry::span("offline.assessment");
         let assess_sp_id = assess_sp.id();
-        let combos = parallel_map(&assessment_sets, config.threads, |c, members| {
+        // Each cluster yields its best combination *and* which groups its
+        // assessment set actually contained; degenerate clusters (empty
+        // set, or no finitely-scored candidate) yield no combination and
+        // are healed by the fallback chain below.
+        let assessed: Vec<(Option<Vec<usize>>, Vec<bool>)> =
+            parallel_map(&assessment_sets, config.threads, |c, members| {
             let _w = falcc_telemetry::span_under(assess_sp_id, "offline.assess_cluster", c as u64);
+            let mut present = vec![false; n_groups];
+            for &i in members.iter() {
+                present[validation.group(i).index()] = true;
+            }
+            if members.is_empty() {
+                falcc_telemetry::counters::DEGENERATE_CLUSTERS.incr();
+                return (None, present);
+            }
             let y: Vec<u8> = members.iter().map(|&i| validation.label(i)).collect();
             let g: Vec<GroupId> = members.iter().map(|&i| validation.group(i)).collect();
             // Individual-fairness mode (§3.6): each member's k nearest
@@ -221,17 +287,35 @@ impl FalccModel {
                     (assess(&z), ci)
                 })
                 .collect();
-            scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite losses"));
+            // A candidate whose loss comes out NaN (e.g. a metric over an
+            // injected pathological slice) is unrankable — drop it rather
+            // than letting it win a NaN-poisoned sort.
+            scored.retain(|&(l, _)| l.is_finite());
+            if scored.is_empty() {
+                falcc_telemetry::counters::DEGENERATE_CLUSTERS.incr();
+                return (None, present);
+            }
+            scored.sort_by(|a, b| a.0.total_cmp(&b.0));
             let best_loss = scored[0].0;
             let chosen = scored
                 .iter()
                 .take_while(|&&(l, _)| l <= best_loss + TIE_TOLERANCE)
                 .min_by_key(|&&(_, ci)| distinct_models(&candidates[ci]))
-                .expect("candidates are non-empty")
-                .1;
-            candidates[chosen].clone()
+                .map(|&(_, ci)| ci)
+                .unwrap_or(scored[0].1);
+            (Some(candidates[chosen].clone()), present)
         });
         drop(assess_sp);
+
+        let combos = resolve_fallbacks(
+            assessed,
+            &kmeans.centroids,
+            &preds,
+            &candidates,
+            validation,
+            n_groups,
+            &config.loss,
+        );
 
         let centroid_norms = kmeans.centroid_norms();
         Ok(Self {
@@ -245,6 +329,7 @@ impl FalccModel {
             name: "FALCC".to_string(),
             threads: config.threads,
             centroid_norms,
+            faults: config.faults.clone(),
         })
     }
 
@@ -298,6 +383,19 @@ impl FalccModel {
         self.threads = threads;
     }
 
+    /// The fault-injection schedule the online phase honours (empty in
+    /// production).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Replaces the online fault-injection schedule — lets robustness
+    /// tests poison batch rows on a model fitted (or restored) without
+    /// injections.
+    pub fn set_fault_plan(&mut self, faults: FaultPlan) {
+        self.faults = faults;
+    }
+
     pub(crate) fn kmeans(&self) -> &KMeansModel {
         &self.kmeans
     }
@@ -319,6 +417,115 @@ impl FalccModel {
     pub(crate) fn name_str(&self) -> &str {
         &self.name
     }
+}
+
+/// The degradation fallback chain for region/group coverage holes.
+///
+/// Assessment can leave holes: a degenerate region contributes no
+/// combination at all, and a region whose assessment set lacked a group
+/// scored its combination without evidence for that group. Both are healed
+/// deterministically, per `(region, group)` cell:
+///
+/// 1. **Nearest covering region** — copy the group's model choice from the
+///    non-degenerate region whose centroid is closest (ties broken by
+///    region index) and whose assessment set contained the group.
+/// 2. **Global best** — if no region covers the group, fall back to the
+///    combination with the lowest loss over the *whole* validation set.
+///
+/// Every step is pure arithmetic over already-merged, input-ordered data,
+/// so degraded models stay bit-identical across thread counts.
+fn resolve_fallbacks(
+    assessed: Vec<(Option<Vec<usize>>, Vec<bool>)>,
+    centroids: &[Vec<f64>],
+    preds: &[Vec<u8>],
+    candidates: &[Vec<usize>],
+    validation: &Dataset,
+    n_groups: usize,
+    loss: &LossConfig,
+) -> Vec<Vec<usize>> {
+    let sq_dist = |a: &[f64], b: &[f64]| -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    };
+    // A region only lends coverage for a group if it produced a
+    // combination *and* actually saw that group.
+    let covers = |r: usize, g: usize| -> bool { assessed[r].0.is_some() && assessed[r].1[g] };
+    let needs_fallback = assessed
+        .iter()
+        .any(|(combo, present)| combo.is_none() || present.iter().any(|&p| !p));
+    // Last resort, shared by every hole: the combination that scores best
+    // globally. Computed once, only when some hole exists.
+    let global_best: Vec<usize> = if needs_fallback {
+        let labels = validation.labels();
+        let groups = validation.groups();
+        let mut best = (f64::INFINITY, 0usize);
+        for (ci, combo) in candidates.iter().enumerate() {
+            let z: Vec<u8> = (0..validation.len())
+                .map(|i| preds[combo[groups[i].index()]][i])
+                .collect();
+            let l = loss.evaluate(labels, &z, groups, n_groups);
+            if l.total_cmp(&best.0) == std::cmp::Ordering::Less {
+                best = (l, ci);
+            }
+        }
+        candidates[best.1].clone()
+    } else {
+        Vec::new()
+    };
+
+    assessed
+        .iter()
+        .enumerate()
+        .map(|(c, (base, present))| {
+            // A degenerate region trusts none of its (nonexistent)
+            // evidence; a healthy one only distrusts uncovered groups.
+            let trusted = |g: usize| base.is_some() && present[g];
+            let mut resolved = match base {
+                Some(combo) => combo.clone(),
+                // Scaffold only — every entry is revisited by the loop
+                // below, which does the fallback accounting.
+                None => global_best.clone(),
+            };
+            for g in 0..n_groups {
+                if trusted(g) {
+                    continue;
+                }
+                let src = (0..assessed.len())
+                    .filter(|&r| r != c && covers(r, g))
+                    .min_by(|&a, &b| {
+                        sq_dist(&centroids[c], &centroids[a])
+                            .total_cmp(&sq_dist(&centroids[c], &centroids[b]))
+                    });
+                match src {
+                    Some(r) => {
+                        if let Some(combo) = &assessed[r].0 {
+                            resolved[g] = combo[g];
+                        }
+                        falcc_telemetry::counters::REGION_GROUP_FALLBACKS.incr();
+                        if falcc_telemetry::enabled() {
+                            falcc_telemetry::event(
+                                "offline.region_fallback",
+                                format!("region {c} group {g}: borrowed from region {r}"),
+                            );
+                        }
+                    }
+                    None => {
+                        // `global_best` is non-empty here: reaching this
+                        // arm implies a hole, which forced its
+                        // computation above.
+                        resolved[g] = global_best.get(g).copied().unwrap_or(0);
+                        falcc_telemetry::counters::REGION_GLOBAL_FALLBACKS.incr();
+                        if falcc_telemetry::enabled() {
+                            falcc_telemetry::event(
+                                "offline.region_fallback",
+                                format!("region {c} group {g}: global-best combination"),
+                            );
+                        }
+                    }
+                }
+            }
+            resolved
+        })
+        .collect()
 }
 
 /// Gap filling (§3.5): each cluster's member list, extended so every
@@ -415,6 +622,68 @@ mod tests {
         cfg.proxy = ProxyStrategy::Remove { delta: 0.3, p_threshold: 0.05 };
         let model = FalccModel::fit(&split.train, &split.validation, &cfg).unwrap();
         assert!(model.proxy_outcome().attrs.len() < 8);
+    }
+
+    #[test]
+    fn quarantine_degrades_gracefully_until_the_floor() {
+        let split = quick_split(800, 8);
+        // Pool of 3, one injected training failure → fit continues on 2.
+        let mut cfg = quick_config();
+        cfg.faults.fail_pool_member(1);
+        let model = FalccModel::fit(&split.train, &split.validation, &cfg).unwrap();
+        assert_eq!(model.pool().len(), 2);
+        let preds = {
+            use crate::framework::FairClassifier;
+            model.predict_dataset(&split.test)
+        };
+        assert!(preds.iter().all(|&z| z <= 1));
+
+        // With a floor of 3 the same failure is a typed error, not a panic.
+        let mut cfg = quick_config();
+        cfg.min_pool_size = 3;
+        cfg.faults.fail_pool_member(1);
+        match FalccModel::fit(&split.train, &split.validation, &cfg) {
+            Err(FalccError::PoolDepleted { survivors, quarantined, min_pool_size }) => {
+                assert_eq!((survivors, quarantined, min_pool_size), (2, 1, 3));
+            }
+            other => panic!("expected PoolDepleted, got {:?}", other.map(|m| m.n_regions())),
+        }
+    }
+
+    #[test]
+    fn degenerate_and_missing_group_regions_fall_back() {
+        use crate::framework::FairClassifier;
+        let split = quick_split(800, 9);
+        let mut cfg = quick_config();
+        cfg.faults.empty_cluster(0);
+        cfg.faults.drop_group_in_region(1, 0);
+        let model = FalccModel::fit(&split.train, &split.validation, &cfg).unwrap();
+        assert_eq!(model.n_regions(), 4);
+        for c in 0..model.n_regions() {
+            let combo = model.combo(c);
+            assert_eq!(combo.len(), 2);
+            assert!(combo.iter().all(|&m| m < model.pool().len()));
+        }
+        let preds = model.predict_dataset(&split.test);
+        assert_eq!(preds.len(), split.test.len());
+        assert!(preds.iter().all(|&z| z <= 1));
+    }
+
+    #[test]
+    fn every_region_degenerate_falls_back_to_global_best() {
+        use crate::framework::FairClassifier;
+        let split = quick_split(700, 10);
+        let mut cfg = quick_config();
+        for c in 0..4 {
+            cfg.faults.empty_cluster(c);
+        }
+        let model = FalccModel::fit(&split.train, &split.validation, &cfg).unwrap();
+        // All regions share the global-best combination.
+        let first = model.combo(0).to_vec();
+        for c in 1..model.n_regions() {
+            assert_eq!(model.combo(c), first.as_slice());
+        }
+        assert_eq!(model.predict_dataset(&split.test).len(), split.test.len());
     }
 
     #[test]

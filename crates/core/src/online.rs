@@ -6,6 +6,8 @@
 //! FALCES, which per sample computes kNN over the validation set *and*
 //! assesses every model combination on those neighbours.
 
+use crate::error::RowFault;
+use crate::faults::FaultSite;
 use crate::framework::FairClassifier;
 use crate::offline::FalccModel;
 use falcc_models::parallel_map_range;
@@ -25,23 +27,62 @@ impl FalccModel {
     /// The full online phase for one sample.
     ///
     /// # Panics
-    /// Panics if the row's sensitive values are outside the declared
-    /// domains (callers classify samples drawn from the same schema).
+    /// Panics if the row is malformed — wrong width, non-finite values, or
+    /// sensitive values outside the declared domains. Callers holding
+    /// unvalidated rows should use [`Self::try_classify`] instead.
     pub fn classify(&self, row: &[f64]) -> u8 {
+        match self.try_classify(row) {
+            Ok(z) => z,
+            Err(fault) => panic!("cannot classify row: {fault}"),
+        }
+    }
+
+    /// The full online phase for one sample, rejecting malformed rows with
+    /// a typed [`RowFault`] instead of panicking: wrong attribute count,
+    /// NaN/infinite features, or out-of-domain sensitive values.
+    ///
+    /// # Errors
+    /// The first [`RowFault`] detected, checked in that order.
+    pub fn try_classify(&self, row: &[f64]) -> Result<u8, RowFault> {
+        if let Some(fault) = self.row_fault(row) {
+            falcc_telemetry::counters::ONLINE_ROWS_REJECTED.incr();
+            return Err(fault);
+        }
         let projected = self.proxy_outcome().project_row(row);
-        self.classify_projected(row, &projected)
+        Ok(self.classify_projected(row, &projected))
+    }
+
+    /// Validation shared by the single-row and batch entry points. `None`
+    /// means the row is safe for [`Self::classify_projected`].
+    fn row_fault(&self, row: &[f64]) -> Option<RowFault> {
+        let expected = self.schema().n_attrs();
+        if row.len() != expected {
+            return Some(RowFault::WrongWidth { expected, found: row.len() });
+        }
+        if let Some(column) = row.iter().position(|v| !v.is_finite()) {
+            return Some(RowFault::NonFinite { column });
+        }
+        if self.group_index().group_of(row).is_err() {
+            return Some(RowFault::GroupOutOfDomain);
+        }
+        None
     }
 
     /// Classification of one sample whose projection is already computed —
     /// the batch paths project a whole batch into one flat buffer and feed
     /// each row's slice here, instead of allocating one projection per
     /// call. The projection arithmetic is identical either way, so so is
-    /// the prediction.
+    /// the prediction. Callers have already validated the row (see
+    /// [`Self::row_fault`]), or hold rows from a schema-validated
+    /// [`falcc_dataset::Dataset`], which enforces the same invariants at
+    /// construction.
     fn classify_projected(&self, row: &[f64], projected: &[f64]) -> u8 {
-        let group = self
-            .group_index()
-            .group_of(row)
-            .expect("sample's sensitive attributes must be in-domain");
+        let group = match self.group_index().group_of(row) {
+            Ok(g) => g,
+            Err(_) => {
+                panic!("caller passed an unvalidated row: {}", RowFault::GroupOutOfDomain)
+            }
+        };
         // Both arms run the identical match; the enabled arm additionally
         // times it. The disabled path never reads the clock.
         let cluster = if falcc_telemetry::enabled() {
@@ -63,22 +104,66 @@ impl FalccModel {
     /// Each sample's classification is independent — region assignment,
     /// combination lookup, and model prediction read only shared fitted
     /// state — and results come back in input order, so the output equals
-    /// `rows.iter().map(|r| self.classify(r))` exactly, for every thread
-    /// count.
+    /// `rows.iter().map(|r| self.try_classify(r))` exactly, for every
+    /// thread count.
     ///
-    /// # Panics
-    /// As [`Self::classify`], if a row's sensitive values are
-    /// out-of-domain.
-    pub fn classify_batch(&self, rows: &[Vec<f64>]) -> Vec<u8> {
+    /// Malformed rows degrade to a per-row [`RowFault`] — one poisoned
+    /// sample never poisons (or panics) the rest of the batch. Rows armed
+    /// as [`FaultSite::NonFiniteRow`] in the model's fault plan are
+    /// rejected as if they carried a NaN in column 0.
+    pub fn classify_batch(&self, rows: &[Vec<f64>]) -> Vec<Result<u8, RowFault>> {
         let _sp = falcc_telemetry::span("online.classify_batch");
         let proxy = self.proxy_outcome();
+        let plan = self.fault_plan();
+        // Validation comes first because the shared projection pass
+        // indexes every row by schema position — a short row would fault
+        // inside projection, before any per-row error could be produced.
+        let faults: Vec<Option<RowFault>> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                if plan.fires(FaultSite::NonFiniteRow, i as u64) {
+                    return Some(RowFault::NonFinite { column: 0 });
+                }
+                self.row_fault(row)
+            })
+            .collect();
+        let rejected = faults.iter().filter(|f| f.is_some()).count();
+        if rejected == 0 {
+            // Happy path: one flat projection buffer for the whole batch.
+            let projected = falcc_dataset::Dataset::project_rows(
+                rows,
+                &proxy.attrs,
+                proxy.weights.as_deref(),
+            );
+            return parallel_map_range(rows.len(), self.threads(), |i| {
+                Ok(self.classify_projected(&rows[i], projected.row(i)))
+            });
+        }
+        falcc_telemetry::counters::ONLINE_ROWS_REJECTED.add(rejected as u64);
+        if falcc_telemetry::enabled() {
+            falcc_telemetry::event(
+                "online.rows_rejected",
+                format!("{rejected} of {} batch rows rejected", rows.len()),
+            );
+        }
+        // Degraded path: substitute a neutral stand-in for each rejected
+        // row so the batch projection stays shape-safe, then surface the
+        // recorded fault instead of the stand-in's prediction.
+        let stand_in = vec![0.0; self.schema().n_attrs()];
+        let safe: Vec<Vec<f64>> = rows
+            .iter()
+            .zip(&faults)
+            .map(|(row, fault)| if fault.is_some() { stand_in.clone() } else { row.clone() })
+            .collect();
         let projected = falcc_dataset::Dataset::project_rows(
-            rows,
+            &safe,
             &proxy.attrs,
             proxy.weights.as_deref(),
         );
-        parallel_map_range(rows.len(), self.threads(), |i| {
-            self.classify_projected(&rows[i], projected.row(i))
+        parallel_map_range(rows.len(), self.threads(), |i| match &faults[i] {
+            Some(fault) => Err(fault.clone()),
+            None => Ok(self.classify_projected(&rows[i], projected.row(i))),
         })
     }
 }
@@ -201,5 +286,66 @@ mod tests {
     fn name_reports_falcc() {
         let (model, _) = fitted(600, 6);
         assert_eq!(model.name(), "FALCC");
+    }
+
+    #[test]
+    fn malformed_rows_get_typed_faults_not_panics() {
+        use crate::error::RowFault;
+        let (model, split) = fitted(700, 7);
+        let good = split.test.row(0).to_vec();
+        assert!(model.try_classify(&good).is_ok());
+
+        let short = vec![0.0];
+        assert!(matches!(
+            model.try_classify(&short),
+            Err(RowFault::WrongWidth { found: 1, .. })
+        ));
+
+        let mut poisoned = good.clone();
+        poisoned[2] = f64::NAN;
+        assert_eq!(model.try_classify(&poisoned), Err(RowFault::NonFinite { column: 2 }));
+
+        let mut alien = good.clone();
+        alien[0] = 42.0; // sensitive attribute outside {0, 1}
+        assert_eq!(model.try_classify(&alien), Err(RowFault::GroupOutOfDomain));
+    }
+
+    #[test]
+    fn one_poisoned_row_does_not_poison_the_batch() {
+        use crate::error::RowFault;
+        let (model, split) = fitted(700, 8);
+        let mut rows: Vec<Vec<f64>> =
+            (0..10).map(|i| split.test.row(i).to_vec()).collect();
+        rows[4][1] = f64::INFINITY;
+        rows[7] = vec![1.0, 2.0]; // wrong width
+        let out = model.classify_batch(&rows);
+        assert_eq!(out.len(), 10);
+        assert_eq!(out[4], Err(RowFault::NonFinite { column: 1 }));
+        assert!(matches!(out[7], Err(RowFault::WrongWidth { found: 2, .. })));
+        for (i, r) in out.iter().enumerate() {
+            if i != 4 && i != 7 {
+                assert_eq!(*r, Ok(model.classify(&rows[i])), "row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn injected_row_faults_reject_exactly_the_armed_rows() {
+        let (mut model, split) = fitted(700, 9);
+        let rows: Vec<Vec<f64>> =
+            (0..8).map(|i| split.test.row(i).to_vec()).collect();
+        let clean: Vec<u8> =
+            model.classify_batch(&rows).into_iter().map(|r| r.unwrap()).collect();
+        let mut plan = crate::faults::FaultPlan::default();
+        plan.poison_row(3);
+        model.set_fault_plan(plan);
+        let out = model.classify_batch(&rows);
+        for (i, r) in out.iter().enumerate() {
+            if i == 3 {
+                assert!(r.is_err());
+            } else {
+                assert_eq!(*r, Ok(clean[i]), "row {i} unaffected by injection");
+            }
+        }
     }
 }

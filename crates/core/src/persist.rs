@@ -6,6 +6,17 @@
 //! cluster centroids, the per-cluster combinations, and the proxy
 //! projection — as plain JSON.
 //!
+//! ## Hardened envelope
+//!
+//! Snapshots are wrapped in a versioned envelope `{magic, version,
+//! checksum, payload}` where `checksum` is the FNV-1a 64-bit hash of the
+//! payload string. Any corruption — flipped bytes, truncation, invalid
+//! UTF-8 — is caught by the envelope parse or the checksum and surfaces as
+//! [`FalccError::SnapshotCorrupt`]; an intact envelope from a different
+//! format version surfaces as [`FalccError::SnapshotVersionSkew`]. Saving
+//! is atomic (write-temp-then-rename) and round-trips the serialised bytes
+//! through the loader as a self-check before publishing the file.
+//!
 //! ```
 //! use falcc::{FairClassifier, FalccConfig, FalccModel, SavedFalccModel};
 //! use falcc_dataset::{synthetic, SplitRatios, ThreeWaySplit};
@@ -36,8 +47,6 @@ use std::path::Path;
 /// A serialisable snapshot of a fitted [`FalccModel`].
 #[derive(Debug, Serialize, Deserialize)]
 pub struct SavedFalccModel {
-    /// Format version for forward compatibility.
-    pub version: u32,
     schema: falcc_dataset::Schema,
     pool: Vec<(ModelSpec, Option<GroupId>)>,
     kmeans: KMeansModel,
@@ -48,8 +57,43 @@ pub struct SavedFalccModel {
     name: String,
 }
 
-/// Current snapshot format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current snapshot format version (v2 introduced the checksummed
+/// envelope; v1 snapshots are rejected with
+/// [`FalccError::SnapshotVersionSkew`]).
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Envelope magic — lets the loader distinguish "not a snapshot at all"
+/// from "a damaged snapshot".
+const MAGIC: &str = "falcc-model";
+
+/// The integrity envelope wrapped around every serialised snapshot. The
+/// payload is carried as a string so the checksum covers its exact bytes.
+#[derive(Serialize, Deserialize)]
+struct Envelope {
+    magic: String,
+    version: u32,
+    /// FNV-1a 64-bit hash of `payload`, hex-encoded (a string survives
+    /// JSON readers that clamp integers to 53 bits).
+    checksum: String,
+    payload: String,
+}
+
+/// FNV-1a 64-bit: tiny, dependency-free, and plenty to catch the
+/// accidental corruption this guards against (not an adversarial MAC).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Typed rejection + telemetry on one line.
+fn corrupt(detail: impl Into<String>) -> FalccError {
+    falcc_telemetry::counters::SNAPSHOTS_REJECTED.incr();
+    FalccError::SnapshotCorrupt { detail: detail.into() }
+}
 
 impl SavedFalccModel {
     /// Captures a fitted model. Fails if the pool contains a model that
@@ -70,7 +114,6 @@ impl SavedFalccModel {
             pool.push((spec, member.group));
         }
         Ok(Self {
-            version: FORMAT_VERSION,
             schema: model.schema.clone(),
             pool,
             kmeans: model.kmeans.clone(),
@@ -129,57 +172,99 @@ impl SavedFalccModel {
             loss: self.loss,
             name: self.name,
             centroid_norms,
+            // Fault schedules are a test-harness concern, never part of a
+            // shipped model.
+            faults: crate::faults::FaultPlan::default(),
         }
     }
 
-    /// Serialises to a JSON string.
+    /// Serialises to a JSON string: the checksummed envelope wrapping the
+    /// snapshot payload.
     ///
     /// # Errors
     /// [`FalccError::InvalidConfig`] wrapping the serde failure (cannot
     /// occur for snapshots produced by [`Self::capture`]).
     pub fn to_json(&self) -> Result<String, FalccError> {
-        serde_json::to_string(self).map_err(|e| FalccError::InvalidConfig {
+        let payload = serde_json::to_string(self).map_err(|e| FalccError::InvalidConfig {
             detail: format!("serialisation failed: {e}"),
+        })?;
+        let envelope = Envelope {
+            magic: MAGIC.to_string(),
+            version: FORMAT_VERSION,
+            checksum: format!("{:016x}", fnv1a64(payload.as_bytes())),
+            payload,
+        };
+        serde_json::to_string(&envelope).map_err(|e| FalccError::InvalidConfig {
+            detail: format!("envelope serialisation failed: {e}"),
         })
     }
 
-    /// Parses a snapshot from JSON, checking the format version.
+    /// Parses a snapshot from JSON, verifying the envelope magic, format
+    /// version, and payload checksum before touching the payload.
     ///
     /// # Errors
-    /// [`FalccError::InvalidConfig`] on parse failure or version mismatch.
+    /// [`FalccError::SnapshotCorrupt`] on any integrity failure;
+    /// [`FalccError::SnapshotVersionSkew`] when an intact envelope was
+    /// written by a different format version.
     pub fn from_json(json: &str) -> Result<Self, FalccError> {
-        let saved: Self =
-            serde_json::from_str(json).map_err(|e| FalccError::InvalidConfig {
-                detail: format!("deserialisation failed: {e}"),
-            })?;
-        if saved.version != FORMAT_VERSION {
-            return Err(FalccError::InvalidConfig {
-                detail: format!(
-                    "snapshot format v{} unsupported (expected v{FORMAT_VERSION})",
-                    saved.version
-                ),
+        let envelope: Envelope = serde_json::from_str(json)
+            .map_err(|e| corrupt(format!("unreadable envelope: {e}")))?;
+        if envelope.magic != MAGIC {
+            return Err(corrupt(format!("bad magic {:?}", envelope.magic)));
+        }
+        if envelope.version != FORMAT_VERSION {
+            falcc_telemetry::counters::SNAPSHOTS_REJECTED.incr();
+            return Err(FalccError::SnapshotVersionSkew {
+                found: envelope.version,
+                expected: FORMAT_VERSION,
             });
         }
-        Ok(saved)
+        let declared = u64::from_str_radix(&envelope.checksum, 16)
+            .map_err(|_| corrupt(format!("unparseable checksum {:?}", envelope.checksum)))?;
+        let actual = fnv1a64(envelope.payload.as_bytes());
+        if declared != actual {
+            return Err(corrupt(format!(
+                "checksum mismatch: declared {declared:016x}, payload hashes to {actual:016x}"
+            )));
+        }
+        serde_json::from_str(&envelope.payload)
+            .map_err(|e| corrupt(format!("unreadable payload: {e}")))
     }
 
-    /// Writes the snapshot to a file.
+    /// Writes the snapshot to a file, atomically: the bytes land in a
+    /// sibling temp file, are re-parsed as a round-trip self-check, and
+    /// only then renamed over `path` — a crash mid-save can leave a stale
+    /// temp file but never a half-written snapshot at the target.
     ///
     /// # Errors
-    /// Serialisation and I/O failures.
+    /// Serialisation, self-check, and I/O failures.
     pub fn save_file(&self, path: impl AsRef<Path>) -> Result<(), FalccError> {
+        let path = path.as_ref();
         let json = self.to_json()?;
-        std::fs::write(path, json)
-            .map_err(|e| FalccError::Dataset(falcc_dataset::DatasetError::Io(e)))
+        // Self-check: the exact bytes about to be published must verify
+        // and parse. Catches serialisation bugs at save time, where the
+        // model is still in memory, instead of at the next load.
+        Self::from_json(&json)?;
+        falcc_telemetry::counters::SNAPSHOT_SELF_CHECKS.incr();
+        let io = |e: std::io::Error| FalccError::Dataset(falcc_dataset::DatasetError::Io(e));
+        let mut tmp_name = path.as_os_str().to_os_string();
+        tmp_name.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp_name);
+        std::fs::write(&tmp, &json).map_err(io)?;
+        std::fs::rename(&tmp, path).map_err(io)
     }
 
     /// Reads a snapshot from a file.
     ///
     /// # Errors
-    /// I/O and parse failures.
+    /// I/O failures, plus everything [`Self::from_json`] rejects —
+    /// including non-UTF-8 bytes, reported as
+    /// [`FalccError::SnapshotCorrupt`].
     pub fn load_file(path: impl AsRef<Path>) -> Result<Self, FalccError> {
-        let json = std::fs::read_to_string(path)
+        let bytes = std::fs::read(path)
             .map_err(|e| FalccError::Dataset(falcc_dataset::DatasetError::Io(e)))?;
+        let json = String::from_utf8(bytes)
+            .map_err(|e| corrupt(format!("snapshot is not UTF-8: {e}")))?;
         Self::from_json(&json)
     }
 }
@@ -239,16 +324,73 @@ mod tests {
     }
 
     #[test]
-    fn version_mismatch_is_rejected() {
+    fn version_skew_is_a_typed_rejection() {
         let (model, _) = fitted();
-        let mut saved = SavedFalccModel::capture(&model).unwrap();
-        saved.version = 999;
-        let json = saved.to_json().unwrap();
+        let json = SavedFalccModel::capture(&model).unwrap().to_json().unwrap();
+        // Rewrite the envelope version without breaking the payload
+        // checksum: skew must be reported as skew, not generic corruption.
+        let skewed = json.replace(
+            &format!("\"version\":{FORMAT_VERSION}"),
+            "\"version\":999",
+        );
+        assert_ne!(skewed, json, "envelope must carry the version field");
         assert!(matches!(
-            SavedFalccModel::from_json(&json),
-            Err(FalccError::InvalidConfig { .. })
+            SavedFalccModel::from_json(&skewed),
+            Err(FalccError::SnapshotVersionSkew { found: 999, expected: FORMAT_VERSION })
         ));
-        assert!(SavedFalccModel::from_json("not json").is_err());
+        assert!(matches!(
+            SavedFalccModel::from_json("not json"),
+            Err(FalccError::SnapshotCorrupt { .. })
+        ));
+        assert!(matches!(
+            SavedFalccModel::from_json("{\"magic\":\"other\",\"version\":2,\"checksum\":\"0\",\"payload\":\"\"}"),
+            Err(FalccError::SnapshotCorrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupted_payload_bytes_fail_the_checksum() {
+        let (model, _) = fitted();
+        let json = SavedFalccModel::capture(&model).unwrap().to_json().unwrap();
+        // Flip one digit inside the payload. The envelope still parses,
+        // so only the checksum stands between the damage and the loader.
+        let target = json.rfind("0.").map(|i| i + 2).unwrap_or(json.len() / 2);
+        let mut bytes = json.into_bytes();
+        bytes[target] = if bytes[target] == b'1' { b'2' } else { b'1' };
+        let tampered = String::from_utf8(bytes).unwrap();
+        assert!(matches!(
+            SavedFalccModel::from_json(&tampered),
+            Err(FalccError::SnapshotCorrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_snapshots_are_rejected() {
+        let (model, _) = fitted();
+        let json = SavedFalccModel::capture(&model).unwrap().to_json().unwrap();
+        for keep in [0, 1, json.len() / 2, json.len() - 1] {
+            assert!(
+                matches!(
+                    SavedFalccModel::from_json(&json[..keep]),
+                    Err(FalccError::SnapshotCorrupt { .. })
+                ),
+                "truncation to {keep} bytes must be caught"
+            );
+        }
+    }
+
+    #[test]
+    fn save_is_atomic_and_self_checked() {
+        let (model, _) = fitted();
+        let path = std::env::temp_dir().join("falcc_model_atomic_test.json");
+        let saved = SavedFalccModel::capture(&model).unwrap();
+        saved.save_file(&path).unwrap();
+        // No temp file left behind after a successful save.
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(".tmp");
+        assert!(!std::path::Path::new(&tmp).exists());
+        assert!(SavedFalccModel::load_file(&path).is_ok());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

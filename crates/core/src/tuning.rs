@@ -81,12 +81,18 @@ pub fn auto_tune(
     let n_groups = validation.group_index().len();
 
     let mut trials = Vec::new();
-    for (clustering, pool_size) in candidate_grid() {
+    for (ordinal, (clustering, pool_size)) in candidate_grid().into_iter().enumerate() {
         let _trial_sp = falcc_telemetry::span_labeled(
             "tuning.trial",
             format!("clustering={clustering:?}, pool_size={pool_size}"),
         );
         falcc_telemetry::counters::TUNING_TRIALS.incr();
+        // Injected trial failure: the search degrades exactly as it does
+        // for an organic fit failure below — skip and keep ranking.
+        if base.faults.fires(crate::faults::FaultSite::TuningTrial, ordinal as u64) {
+            falcc_telemetry::counters::TUNING_TRIALS_FAILED.incr();
+            continue;
+        }
         let mut cfg = base.clone();
         cfg.clustering = clustering;
         cfg.pool.pool_size = pool_size;
@@ -120,11 +126,7 @@ pub fn auto_tune(
             detail: "no tuning candidate could be fitted".into(),
         });
     }
-    trials.sort_by(|a, b| {
-        a.holdout_local_l_hat
-            .partial_cmp(&b.holdout_local_l_hat)
-            .expect("finite scores")
-    });
+    trials.sort_by(|a, b| a.holdout_local_l_hat.total_cmp(&b.holdout_local_l_hat));
     let best = &trials[0];
     let mut chosen = base.clone();
     chosen.clustering = best.clustering;
@@ -170,6 +172,33 @@ mod tests {
         let s = split(1200, 2);
         let small = s.validation.subset(&(0..5).collect::<Vec<_>>()).unwrap();
         assert!(auto_tune(&s.train, &small, &FalccConfig::default()).is_err());
+    }
+
+    #[test]
+    fn injected_trial_failures_degrade_the_search() {
+        let s = split(1200, 4);
+        let mut base = FalccConfig::default();
+        // Fail the first two grid candidates; the search must still rank
+        // the remaining seven and pick a winner.
+        base.faults.fail_tuning_trial(0);
+        base.faults.fail_tuning_trial(1);
+        let report = auto_tune(&s.train, &s.validation, &base).unwrap();
+        assert!(report.trials.len() <= 7);
+        assert!(!report.trials.is_empty());
+        assert!(report.chosen.validate().is_ok());
+    }
+
+    #[test]
+    fn all_trials_failing_is_a_typed_error() {
+        let s = split(1200, 5);
+        let mut base = FalccConfig::default();
+        for ordinal in 0..9 {
+            base.faults.fail_tuning_trial(ordinal);
+        }
+        assert!(matches!(
+            auto_tune(&s.train, &s.validation, &base),
+            Err(FalccError::InvalidConfig { .. })
+        ));
     }
 
     #[test]

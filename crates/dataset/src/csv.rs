@@ -30,13 +30,12 @@ pub fn read_csv<R: Read>(
         None => return Err(DatasetError::Empty),
     };
     let mut names: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
-    if names.len() < 2 {
+    let Some(label_name) = (names.len() >= 2).then(|| names.pop()).flatten() else {
         return Err(DatasetError::Csv {
             line: 1,
             detail: "header needs at least one attribute and a label".into(),
         });
-    }
-    let label_name = names.pop().expect("checked non-empty");
+    };
 
     let mut sens = Vec::with_capacity(sensitive.len());
     for (name, domain) in sensitive {
@@ -59,11 +58,19 @@ pub fn read_csv<R: Read>(
         }
         let mut row = Vec::with_capacity(d);
         let mut fields = line.split(',');
-        for field in fields.by_ref().take(d) {
-            let v: f64 = field.trim().parse().map_err(|_| DatasetError::Csv {
+        for (column, field) in fields.by_ref().take(d).enumerate() {
+            let v: f64 = field.trim().parse().map_err(|_| DatasetError::CsvCell {
                 line: lineno,
+                column,
                 detail: format!("non-numeric value {:?}", field.trim()),
             })?;
+            if !v.is_finite() {
+                return Err(DatasetError::CsvCell {
+                    line: lineno,
+                    column,
+                    detail: format!("non-finite value {v}"),
+                });
+            }
             row.push(v);
         }
         let label_field = fields.next().ok_or_else(|| DatasetError::Csv {
@@ -82,13 +89,15 @@ pub fn read_csv<R: Read>(
                 detail: format!("expected {} columns", d + 1),
             });
         }
-        let label: f64 = label_field.trim().parse().map_err(|_| DatasetError::Csv {
+        let label: f64 = label_field.trim().parse().map_err(|_| DatasetError::CsvCell {
             line: lineno,
+            column: d,
             detail: format!("non-numeric label {:?}", label_field.trim()),
         })?;
         if label != 0.0 && label != 1.0 {
-            return Err(DatasetError::Csv {
+            return Err(DatasetError::CsvCell {
                 line: lineno,
+                column: d,
                 detail: format!("label must be 0 or 1, got {label}"),
             });
         }
@@ -168,11 +177,44 @@ mod tests {
     }
 
     #[test]
-    fn errors_carry_line_numbers() {
+    fn errors_carry_line_and_column_numbers() {
         let text = "s,f,y\n0,1,1\n0,oops,0\n";
         match read_csv(text.as_bytes(), &[("s", vec![0.0, 1.0])]) {
-            Err(DatasetError::Csv { line, .. }) => assert_eq!(line, 3),
-            other => panic!("expected csv error, got {other:?}"),
+            Err(DatasetError::CsvCell { line, column, .. }) => {
+                assert_eq!(line, 3);
+                assert_eq!(column, 1);
+            }
+            other => panic!("expected csv cell error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_cells_are_rejected_with_context() {
+        for bad in ["NaN", "inf", "-inf", "Infinity"] {
+            let text = format!("s,f,y\n0,1,1\n1,{bad},0\n");
+            match read_csv(text.as_bytes(), &[("s", vec![0.0, 1.0])]) {
+                Err(DatasetError::CsvCell { line, column, detail }) => {
+                    assert_eq!(line, 3, "{bad}");
+                    assert_eq!(column, 1, "{bad}");
+                    assert!(
+                        detail.contains("non-finite") || detail.contains("non-numeric"),
+                        "{bad}: {detail}"
+                    );
+                }
+                other => panic!("expected cell error for {bad}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn non_numeric_label_is_cell_error_with_label_column() {
+        let text = "s,f,y\n0,1,maybe\n";
+        match read_csv(text.as_bytes(), &[("s", vec![0.0, 1.0])]) {
+            Err(DatasetError::CsvCell { line, column, .. }) => {
+                assert_eq!(line, 2);
+                assert_eq!(column, 2, "label column is after the attributes");
+            }
+            other => panic!("expected cell error, got {other:?}"),
         }
     }
 

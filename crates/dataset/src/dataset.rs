@@ -76,13 +76,7 @@ impl Dataset {
         // Non-finite features would silently corrupt every downstream
         // consumer (tree splits, kd-tree ordering, k-means); reject here.
         if let Some(pos) = x.iter().position(|v| !v.is_finite()) {
-            return Err(DatasetError::ShapeMismatch {
-                detail: format!(
-                    "non-finite feature value at row {}, column {}",
-                    pos / d,
-                    pos % d
-                ),
-            });
+            return Err(DatasetError::NonFiniteFeature { row: pos / d, column: pos % d });
         }
         let group_index = schema.group_index();
         let mut g = Vec::with_capacity(y.len());
@@ -497,9 +491,9 @@ mod tests {
                 vec![1, 0],
             );
             match err {
-                Err(DatasetError::ShapeMismatch { detail }) => {
-                    assert!(detail.contains("row 1"), "{detail}");
-                    assert!(detail.contains("column 1"), "{detail}");
+                Err(DatasetError::NonFiniteFeature { row, column }) => {
+                    assert_eq!(row, 1);
+                    assert_eq!(column, 1);
                 }
                 other => panic!("expected rejection of {bad}, got {other:?}"),
             }

@@ -29,12 +29,31 @@ pub enum DatasetError {
     },
     /// The dataset was empty where a non-empty one is required.
     Empty,
-    /// CSV parsing failed.
+    /// CSV parsing failed at row granularity (arity, missing columns).
     Csv {
         /// 1-based line number of the failure.
         line: usize,
         /// Description of the parse failure.
         detail: String,
+    },
+    /// CSV parsing failed at cell granularity (non-numeric or non-finite
+    /// value), with full row/column context.
+    CsvCell {
+        /// 1-based line number of the failure.
+        line: usize,
+        /// 0-based column index of the offending cell.
+        column: usize,
+        /// Description of the bad value.
+        detail: String,
+    },
+    /// A feature value was NaN or infinite — poison for every downstream
+    /// consumer (tree splits, kd-tree ordering, k-means), so construction
+    /// rejects it with the exact coordinates.
+    NonFiniteFeature {
+        /// 0-based row index.
+        row: usize,
+        /// 0-based column index.
+        column: usize,
     },
     /// Underlying I/O failure.
     Io(std::io::Error),
@@ -51,6 +70,12 @@ impl fmt::Display for DatasetError {
             Self::InvalidSplit { detail } => write!(f, "invalid split: {detail}"),
             Self::Empty => write!(f, "dataset is empty"),
             Self::Csv { line, detail } => write!(f, "csv parse error on line {line}: {detail}"),
+            Self::CsvCell { line, column, detail } => {
+                write!(f, "csv parse error on line {line}, column {column}: {detail}")
+            }
+            Self::NonFiniteFeature { row, column } => {
+                write!(f, "non-finite feature value at row {row}, column {column}")
+            }
             Self::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -81,6 +106,10 @@ mod tests {
         assert!(e.to_string().contains("3 rows"));
         let e = DatasetError::Csv { line: 7, detail: "bad float".into() };
         assert!(e.to_string().contains("line 7"));
+        let e = DatasetError::CsvCell { line: 3, column: 2, detail: "NaN".into() };
+        assert!(e.to_string().contains("line 3") && e.to_string().contains("column 2"));
+        let e = DatasetError::NonFiniteFeature { row: 4, column: 1 };
+        assert!(e.to_string().contains("row 4") && e.to_string().contains("column 1"));
     }
 
     #[test]

@@ -22,6 +22,14 @@
 //!   for why the emulation preserves the relevant behaviour.
 //! * [`csv`] — plain CSV import/export so externally obtained copies of the
 //!   real datasets can be dropped in.
+//!
+//! The public surface of this crate is **panic-free for malformed data**:
+//! dirty CSV cells, non-finite features, out-of-domain sensitive values,
+//! and shape inconsistencies all surface as [`DatasetError`] variants with
+//! row/column context, never as a panic. `clippy::unwrap_used` /
+//! `clippy::expect_used` are denied in non-test code to keep it that way.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod csv;
 pub mod dataset;

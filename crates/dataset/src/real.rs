@@ -179,7 +179,7 @@ impl RealisticSpec {
         // rates stay on target.
         let median_rate = {
             let mut r = self.group_pos_rates.clone();
-            r.sort_by(|a, b| a.partial_cmp(b).expect("finite rates"));
+            r.sort_by(f64::total_cmp);
             r[r.len() / 2]
         };
         // Balanced ±1 directions (odd counts give the last niche 0) so the

@@ -99,7 +99,7 @@ pub(crate) fn std_normal(rng: &mut StdRng) -> f64 {
 /// nearest-rank). Used to turn target positive rates into score thresholds.
 pub(crate) fn quantile(values: &mut [f64], q: f64) -> f64 {
     assert!(!values.is_empty());
-    values.sort_by(|a, b| a.partial_cmp(b).expect("scores are finite"));
+    values.sort_by(f64::total_cmp);
     let rank = ((values.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
     values[rank]
 }

@@ -235,6 +235,43 @@ impl ModelPool {
         self.models.is_empty()
     }
 
+    /// Removes the members at `failed` indices (duplicates and
+    /// out-of-range entries are ignored), returning how many were removed.
+    /// Used by the fault-tolerant offline intake to quarantine members
+    /// whose training diverged; remaining members keep their relative
+    /// order, so the surviving pool layout is deterministic.
+    pub fn quarantine(&mut self, failed: &[usize]) -> usize {
+        if failed.is_empty() {
+            return 0;
+        }
+        let before = self.models.len();
+        let mut drop = vec![false; before];
+        for &i in failed {
+            if i < before {
+                drop[i] = true;
+            }
+        }
+        let mut keep_iter = drop.iter();
+        self.models.retain(|_| !*keep_iter.next().unwrap_or(&false));
+        before - self.models.len()
+    }
+
+    /// Indices of members that look unsound on an evaluation probe: a
+    /// member whose predicted probability is NaN/±∞ on any of the first
+    /// `probe_rows` rows of `eval` has diverged during training and would
+    /// poison assessment. Deterministic: the probe is a fixed prefix.
+    pub fn unsound_members(&self, eval: &Dataset, probe_rows: usize) -> Vec<usize> {
+        let probe = probe_rows.min(eval.len());
+        self.models
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| {
+                (0..probe).any(|i| !m.model.predict_proba_row(eval.row(i)).is_finite())
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
     /// Pool-member indices applicable to group `g`.
     pub fn applicable(&self, g: GroupId) -> Vec<usize> {
         self.models
@@ -458,5 +495,41 @@ mod tests {
     fn empty_applicability_yields_no_combos() {
         let pool = ModelPool::from_models(vec![]);
         assert!(enumerate_combinations(&pool, 2).is_empty());
+    }
+
+    #[test]
+    fn quarantine_removes_members_in_order() {
+        let split = small_split();
+        let mut pool = ModelPool::standard_five(&split.train, 7);
+        let names: Vec<String> =
+            pool.models.iter().map(|m| m.model.name().to_string()).collect();
+        // Duplicates and out-of-range indices are tolerated.
+        let removed = pool.quarantine(&[1, 3, 3, 99]);
+        assert_eq!(removed, 2);
+        assert_eq!(pool.len(), 3);
+        let survivors: Vec<String> =
+            pool.models.iter().map(|m| m.model.name().to_string()).collect();
+        assert_eq!(survivors, vec![names[0].clone(), names[2].clone(), names[4].clone()]);
+        assert_eq!(pool.quarantine(&[]), 0);
+    }
+
+    #[test]
+    fn unsound_members_flags_non_finite_probabilities() {
+        use crate::traits::Classifier;
+        use std::sync::Arc;
+        struct Diverged;
+        impl Classifier for Diverged {
+            fn predict_proba_row(&self, _row: &[f64]) -> f64 {
+                f64::NAN
+            }
+            fn name(&self) -> &str {
+                "diverged"
+            }
+        }
+        let split = small_split();
+        let mut pool = ModelPool::standard_five(&split.train, 7);
+        pool.models.push(TrainedModel { model: Arc::new(Diverged), group: None });
+        let bad = pool.unsound_members(&split.validation, 16);
+        assert_eq!(bad, vec![5], "only the diverged member is flagged");
     }
 }

@@ -277,6 +277,32 @@ pub mod counters {
     pub static PERSIST_NORMS_RECOMPUTED: Counter = Counter::new("persist.norms_recomputed");
     /// Attributes removed as proxies by the `Remove` mitigation strategy.
     pub static PROXY_ATTRS_REMOVED: Counter = Counter::new("proxy.attrs_removed");
+    /// Faults fired by a `falcc::faults::FaultPlan` (deterministic
+    /// injection harness). Zero in production runs.
+    pub static FAULTS_INJECTED: Counter = Counter::new("faults.injected");
+    /// Pool members quarantined during offline intake (injected failure or
+    /// a non-finite probability detected on the validation probe).
+    pub static POOL_MEMBERS_QUARANTINED: Counter = Counter::new("pool.members_quarantined");
+    /// Regions whose assessment set was empty or a single point — served
+    /// through the fallback chain instead of per-region assessment.
+    pub static DEGENERATE_CLUSTERS: Counter = Counter::new("offline.degenerate_clusters");
+    /// (region, group) cells healed by borrowing the nearest covering
+    /// region's model choice.
+    pub static REGION_GROUP_FALLBACKS: Counter = Counter::new("offline.region_group_fallbacks");
+    /// (region, group) cells healed by the global-best combination (no
+    /// region covered the group at all).
+    pub static REGION_GLOBAL_FALLBACKS: Counter = Counter::new("offline.region_global_fallbacks");
+    /// Batch-classification rows rejected with a typed per-row error
+    /// (non-finite features, wrong width, out-of-domain sensitive values).
+    pub static ONLINE_ROWS_REJECTED: Counter = Counter::new("online.rows_rejected");
+    /// Snapshots rejected at load time (corruption, truncation, version
+    /// skew, failed checksum).
+    pub static SNAPSHOTS_REJECTED: Counter = Counter::new("persist.snapshots_rejected");
+    /// Round-trip self-checks performed on snapshot save.
+    pub static SNAPSHOT_SELF_CHECKS: Counter = Counter::new("persist.self_checks");
+    /// Empty clusters re-seeded from the farthest point during Lloyd
+    /// iterations (the degenerate-cluster collapse fix).
+    pub static KMEANS_EMPTY_RESEEDS: Counter = Counter::new("clustering.empty_reseeds");
 }
 
 /// Well-known gauges.

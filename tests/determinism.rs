@@ -41,7 +41,11 @@ fn fit_with_threads(threads: usize, split_by_group: bool) -> Fitted {
             .iter()
             .map(|c| c.iter().map(|v| v.to_bits()).collect())
             .collect(),
-        batch_preds: model.classify_batch(&rows),
+        batch_preds: model
+            .classify_batch(&rows)
+            .into_iter()
+            .map(|r| r.expect("valid test rows classify"))
+            .collect(),
         dataset_preds: model.predict_dataset(&split.test),
     }
 }
@@ -127,10 +131,11 @@ fn classify_batch_equals_sequential_classification() {
     let sequential: Vec<u8> = rows.iter().map(|r| model.classify(r)).collect();
     for threads in [0, 1, 2, 8] {
         model.set_threads(threads);
-        assert_eq!(
-            model.classify_batch(&rows),
-            sequential,
-            "batched ≠ sequential at {threads} threads"
-        );
+        let batched: Vec<u8> = model
+            .classify_batch(&rows)
+            .into_iter()
+            .map(|r| r.expect("valid test rows classify"))
+            .collect();
+        assert_eq!(batched, sequential, "batched ≠ sequential at {threads} threads");
     }
 }
