@@ -32,13 +32,19 @@ fn online_micros(model: &dyn FairClassifier, test: &Dataset, reps: usize) -> f64
     times[times.len() / 2]
 }
 
-/// Median-of-runs per-sample latency of FALCC's *batched* online phase
-/// (`classify_batch`) at the model's configured thread count.
-fn batched_micros(model: &FalccModel, rows: &[Vec<f64>], reps: usize) -> f64 {
+/// Median-of-runs per-sample latency of a *batched* online phase
+/// (`classify_batch` of either serving plane), in microseconds — the
+/// caller passes the entry point so the interpreted and compiled planes
+/// are measured through the identical harness.
+fn batched_micros(
+    rows: &[Vec<f64>],
+    reps: usize,
+    mut run: impl FnMut(&[Vec<f64>]) -> Vec<Result<u8, falcc::RowFault>>,
+) -> f64 {
     let mut times: Vec<f64> = (0..reps.max(1))
         .map(|_| {
             let start = Instant::now();
-            let preds = model.classify_batch(rows);
+            let preds = run(rows);
             let elapsed = start.elapsed().as_nanos() as f64;
             assert_eq!(preds.len(), rows.len());
             assert!(preds.iter().all(Result::is_ok));
@@ -76,7 +82,7 @@ fn main() {
 
     let mut table = Table::new(
         "Fig. 6 — online-phase runtime, microseconds per sample (median of reps)",
-        &["dataset", "groups", "FALCC", "FALCC-batch", "FALCES-FASTEST", "(variant)", "OTHER-FASTEST", "(algo)"],
+        &["dataset", "groups", "FALCC", "FALCC-batch", "interp rows/s", "compiled rows/s", "FALCES-FASTEST", "(variant)", "OTHER-FASTEST", "(algo)"],
     );
     let mut offline_table = Table::new(
         "Offline-phase fit wall-clock (seconds) vs worker threads — identical models",
@@ -123,7 +129,15 @@ fn main() {
         let rows: Vec<Vec<f64>> =
             (0..split.test.len()).map(|i| split.test.row(i).to_vec()).collect();
         falcc.set_threads(0);
-        let falcc_batch_us = batched_micros(&falcc, &rows, 3);
+        let falcc_batch_us = batched_micros(&rows, 3, |r| falcc.classify_batch(r));
+
+        // Interpreted vs compiled batch throughput (rows per second) —
+        // the same entry point through both serving planes.
+        let compiled = falcc.compile();
+        let compiled_batch_us = batched_micros(&rows, 3, |r| compiled.classify_batch(r));
+        let interp_rows_s = 1_000_000.0 / falcc_batch_us.max(1e-9);
+        let compiled_rows_s = 1_000_000.0 / compiled_batch_us.max(1e-9);
+        drop(compiled);
 
         // FALCES family → fastest variant.
         let falces = fit_algorithm(Algo::FalcesBest, &split, &pools, metric, seed);
@@ -150,6 +164,8 @@ fn main() {
             n_groups.to_string(),
             format!("{falcc_us:.2}"),
             format!("{falcc_batch_us:.2}"),
+            format!("{interp_rows_s:.0}"),
+            format!("{compiled_rows_s:.0}"),
             format!("{falces_us:.2}"),
             falces_name,
             format!("{other_us:.2}"),

@@ -1,0 +1,56 @@
+//! Serving-plane benchmark: interpreted online phase vs the compiled
+//! serving plane (`FalccModel::compile`) on an ensemble-heavy pool —
+//! single-row latency, batch throughput, one-off compile cost — and a
+//! hard bit-identity gate. Writes `BENCH_serving.json` at the repo root.
+//!
+//! `--smoke` shrinks the data and repetition count for CI; a divergence
+//! between the planes exits non-zero in every mode.
+
+use falcc_bench::{bench_serving, Opts};
+
+fn main() {
+    let opts = Opts::from_args();
+    // Timings take the minimum over interleaved samples; on shared boxes
+    // more repetitions are what pins the true floor for both planes.
+    let (scale, reps) = if opts.smoke { (0.02, 1) } else { (opts.scale, 25) };
+
+    falcc_telemetry::progress(format!(
+        "benchmarking serving planes at scale {scale} (reps {reps}, seed {})",
+        opts.seed
+    ));
+    let report = bench_serving(scale, opts.seed, reps);
+
+    println!(
+        "plane         single_us   batch_rows_per_s\n\
+         interpreted   {:>9.2} {:>18.0}\n\
+         compiled      {:>9.2} {:>18.0}\n\
+         speedup       {:>8.2}x {:>17.2}x",
+        report.interpreted_single_us,
+        report.interpreted_batch_rows_per_s,
+        report.compiled_single_us,
+        report.compiled_batch_rows_per_s,
+        report.single_speedup,
+        report.batch_speedup,
+    );
+    println!(
+        "compile: {:.2} ms for {} distinct members (pool {}, {} regions, {} flat nodes); \
+         equivalent: {}",
+        report.compile_ms,
+        report.compiled_models,
+        report.pool_models,
+        report.n_regions,
+        report.flat_nodes,
+        report.equivalent,
+    );
+
+    let json = serde_json::to_string(&report).expect("serialise report");
+    let out = "BENCH_serving.json";
+    std::fs::write(out, json).expect("write BENCH_serving.json");
+    falcc_telemetry::progress(format!("wrote {out} ({} test rows)", report.test_rows));
+    opts.finish_telemetry();
+
+    if !report.equivalent {
+        eprintln!("compiled serving plane diverged from the interpreted online phase");
+        std::process::exit(1);
+    }
+}

@@ -13,6 +13,7 @@
 //! | `exp_runtime`   | Fig. 6 — online-phase runtime |
 //! | `exp_ablation`  | extra — design-choice ablations (k estimation, pool size, λ) |
 //! | `exp_kernels`   | extra — naive-vs-fast kernel timings (`BENCH_kernels.json`) |
+//! | `exp_serving`   | extra — interpreted vs compiled serving plane (`BENCH_serving.json`) |
 //!
 //! Every binary accepts `--seed <u64>`, `--runs <n>`, `--scale <f64>` (row
 //! scaling of the emulated datasets) and `--out <dir>` and writes both a
@@ -31,6 +32,7 @@ pub mod eval;
 pub mod kernels;
 pub mod overhead;
 pub mod report;
+pub mod serving;
 
 pub use algos::{fit_algorithm, Algo, FittedAlgo};
 pub use cli::Opts;
@@ -39,3 +41,4 @@ pub use eval::{evaluate, reference_regions, EvalRow};
 pub use kernels::{bench_kernels, KernelReport, KernelTiming};
 pub use overhead::{measure_overhead, TelemetryOverheadReport};
 pub use report::{write_csv, Table};
+pub use serving::{bench_serving, ServingReport};

@@ -83,6 +83,9 @@ pub struct RunArgs {
     /// Deterministic fault-injection schedule from `--inject` (empty by
     /// default) — demonstrates the degradation paths end to end.
     pub faults: FaultPlan,
+    /// Serve the test split through the interpreted online phase instead
+    /// of the compiled plane (escape hatch; results are bit-identical).
+    pub no_compile: bool,
 }
 
 /// `falcc train` options.
@@ -108,6 +111,9 @@ pub struct PredictArgs {
     pub data: String,
     pub out: Option<String>,
     pub threads: usize,
+    /// Classify through the interpreted online phase instead of the
+    /// compiled serving plane (escape hatch; results are bit-identical).
+    pub no_compile: bool,
 }
 
 /// Shared `--model` + `--data` options.
@@ -261,8 +267,13 @@ fn parse_train(args: &[String]) -> Result<Command, CliError> {
 }
 
 fn parse_run(args: &[String]) -> Result<Command, CliError> {
-    let mut out =
-        RunArgs { seed: 11, scale: 0.10, threads: 0, faults: FaultPlan::default() };
+    let mut out = RunArgs {
+        seed: 11,
+        scale: 0.10,
+        threads: 0,
+        faults: FaultPlan::default(),
+        no_compile: false,
+    };
     let mut cur = Cursor { args, at: 0 };
     while cur.at < cur.args.len() {
         let flag = cur.args[cur.at].clone();
@@ -274,6 +285,7 @@ fn parse_run(args: &[String]) -> Result<Command, CliError> {
                 out.threads = parse_num(cur.next_value("--threads")?, "--threads")?
             }
             "--inject" => out.faults = parse_inject(cur.next_value("--inject")?)?,
+            "--no-compile" => out.no_compile = true,
             other => return Err(CliError::usage(format!("unknown flag {other}"))),
         }
     }
@@ -324,6 +336,7 @@ fn parse_predict(args: &[String]) -> Result<Command, CliError> {
     let mut data = None;
     let mut out = None;
     let mut threads = 0;
+    let mut no_compile = false;
     let mut cur = Cursor { args, at: 0 };
     while cur.at < cur.args.len() {
         let flag = cur.args[cur.at].clone();
@@ -333,6 +346,7 @@ fn parse_predict(args: &[String]) -> Result<Command, CliError> {
             "--data" => data = Some(cur.next_value("--data")?.to_string()),
             "--out" => out = Some(cur.next_value("--out")?.to_string()),
             "--threads" => threads = parse_num(cur.next_value("--threads")?, "--threads")?,
+            "--no-compile" => no_compile = true,
             other => return Err(CliError::usage(format!("unknown flag {other}"))),
         }
     }
@@ -341,6 +355,7 @@ fn parse_predict(args: &[String]) -> Result<Command, CliError> {
         data: data.ok_or_else(|| CliError::usage("predict requires --data"))?,
         out,
         threads,
+        no_compile,
     }))
 }
 
@@ -454,8 +469,15 @@ mod tests {
                 data: "d.csv".into(),
                 out: None,
                 threads: 0,
+                no_compile: false,
             })
         );
+        let cmd = parse(&v(&[
+            "predict", "--model", "m.json", "--data", "d.csv", "--no-compile",
+        ]))
+        .unwrap();
+        let Command::Predict(p) = cmd else { panic!("expected predict") };
+        assert!(p.no_compile);
         let cmd = parse(&v(&["audit", "--model", "m", "--data", "d"])).unwrap();
         assert!(matches!(cmd, Command::Audit(_)));
         let cmd = parse(&v(&["info", "--model", "m"])).unwrap();
@@ -472,10 +494,13 @@ mod tests {
                 scale: 0.10,
                 threads: 0,
                 faults: FaultPlan::default(),
+                no_compile: false,
             })
         );
-        let cmd =
-            parse(&v(&["run", "--seed", "3", "--scale", "0.25", "--threads", "2"])).unwrap();
+        let cmd = parse(&v(&[
+            "run", "--seed", "3", "--scale", "0.25", "--threads", "2", "--no-compile",
+        ]))
+        .unwrap();
         assert_eq!(
             cmd,
             Command::Run(RunArgs {
@@ -483,6 +508,7 @@ mod tests {
                 scale: 0.25,
                 threads: 2,
                 faults: FaultPlan::default(),
+                no_compile: true,
             })
         );
         assert_eq!(parse(&v(&["run", "--scale", "0"])).unwrap_err().exit_code, 2);

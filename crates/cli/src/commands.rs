@@ -59,8 +59,15 @@ fn run_demo(args: RunArgs) -> Result<String, CliError> {
     });
     let model = FalccModel::fit(&split.train, &split.validation, &config)
         .map_err(|e| CliError::runtime(format!("fitting FALCC: {e}")))?;
-    falcc_telemetry::progress("classifying test split (online phase)");
-    let preds = model.predict_dataset(&split.test);
+    // The compiled serving plane is the default; --no-compile falls back
+    // to the interpreted online phase (bit-identical either way).
+    let preds = if args.no_compile {
+        falcc_telemetry::progress("classifying test split (interpreted online phase)");
+        model.predict_dataset(&split.test)
+    } else {
+        falcc_telemetry::progress("classifying test split (compiled serving plane)");
+        model.compile().predict_dataset(&split.test)
+    };
 
     let y = split.test.labels();
     let g = split.test.groups();
@@ -181,7 +188,13 @@ fn predict(args: PredictArgs) -> Result<String, CliError> {
     model.set_threads(args.threads);
     let sensitive = sensitive_decl_of(&model);
     let data = load_dataset(&args.data, &as_refs(&sensitive))?;
-    let preds = model.predict_dataset(&data);
+    // Serve through the compiled plane unless --no-compile asks for the
+    // interpreted online phase; predictions are bit-identical either way.
+    let preds = if args.no_compile {
+        model.predict_dataset(&data)
+    } else {
+        model.compile().predict_dataset(&data)
+    };
 
     let mut body = String::with_capacity(preds.len() * 2 + 16);
     body.push_str("prediction\n");
@@ -349,6 +362,13 @@ mod tests {
         .unwrap();
         assert!(preds.starts_with("prediction\n"));
         assert_eq!(preds.lines().count(), 151);
+
+        // The interpreted escape hatch serves bit-identical predictions.
+        let interpreted = crate::run(&v(&[
+            "predict", "--model", &model_path, "--data", &test_csv, "--no-compile",
+        ]))
+        .unwrap();
+        assert_eq!(preds, interpreted);
 
         let audit_out =
             crate::run(&v(&["audit", "--model", &model_path, "--data", &test_csv]))

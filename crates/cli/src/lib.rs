@@ -94,10 +94,11 @@ USAGE:
                 [--proxy none|reweigh|remove] [--clusters auto|elbow|<k>]
                 [--val-split <0..1>] [--seed <u64>] [--tune] [--threads <n>]
   falcc predict --model <model.json> --data <csv> [--out <csv>] [--threads <n>]
+                [--no-compile]
   falcc audit   --model <model.json> --data <csv>
   falcc info    --model <model.json>
   falcc run     [--seed <u64>] [--scale <0..1>] [--threads <n>]
-                [--inject <spec>]
+                [--inject <spec>] [--no-compile]
 
 GLOBAL FLAGS (any subcommand):
   --profile            print a per-phase span tree and metrics afterwards
@@ -121,4 +122,10 @@ Sensitive columns must be 0/1-coded.
 --threads 0 (the default) uses every available core. The thread count is
 a throughput knob only: trained models and predictions are bit-identical
 for every value.
+
+predict and run classify through the compiled serving plane (flattened
+inference artifacts with region-batched dispatch) by default;
+--no-compile falls back to the interpreted online phase. The two planes
+produce bit-identical predictions — the flag only trades compile time
+against per-row throughput.
 ";

@@ -1,0 +1,265 @@
+//! Flat centroid matrix for the compiled serving plane.
+//!
+//! [`crate::KMeansModel`] stores its centroids as `Vec<Vec<f64>>` — one
+//! heap allocation per centroid, so every nearest-centroid query chases
+//! `k` pointers. [`CentroidMatrix`] packs the same centroids into one
+//! contiguous row-major `k × d` slab with the norms cached alongside,
+//! turning the region match into a linear sweep over one cache-resident
+//! block.
+//!
+//! **Equivalence contract**: [`CentroidMatrix::nearest`] replicates
+//! [`crate::KMeansModel::predict_pruned`] *bit for bit* — same centroid
+//! iteration order, the same reverse-triangle-inequality prefilter with
+//! the same deflated margins, the same exact squared-distance summation
+//! for surviving candidates, and the same strict-improvement tie-break
+//! (first centroid wins ties). It also flushes the same
+//! `online.pruned_candidates` telemetry counter, so traces are
+//! indistinguishable between the interpreted and compiled planes.
+
+use crate::kmeans::{sq_dist, KMeansModel, LB_DEFLATE, NORM_GAP_MARGIN};
+
+/// Widest centroid count served by the transposed (column-major) scan;
+/// beyond it the scan falls back to the row-major four-lane sweep. 32
+/// accumulators fit comfortably in registers/L1 and cover every
+/// serving-plane configuration (the paper's grids stay below k = 16).
+const COLUMN_SCAN_MAX_K: usize = 32;
+
+/// Contiguous centroid slab in both orders plus cached norms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CentroidMatrix {
+    data: Vec<f64>,
+    /// The same centroids transposed and padded: `cols[j * col_stride +
+    /// c]` is coordinate `j` of centroid `c`, so one query coordinate
+    /// touches all `k` centroids through one contiguous run — the shape
+    /// the auto-vectoriser wants for the distance sweep. Padding columns
+    /// (up to the power-of-two stride) are zero and never compared.
+    cols: Vec<f64>,
+    /// Power-of-two row length of `cols` (4–32); `k` rounded up.
+    col_stride: usize,
+    norms: Vec<f64>,
+    n_cols: usize,
+}
+
+impl CentroidMatrix {
+    /// Packs the centroids of a fitted k-means model. The cached norms are
+    /// computed exactly as [`KMeansModel::centroid_norms`] does.
+    ///
+    /// # Panics
+    /// Panics if the model has no centroids (a fitted model always has
+    /// `k ≥ 1`).
+    pub fn from_model(model: &KMeansModel) -> Self {
+        assert!(!model.centroids.is_empty(), "cannot flatten a centroid-free model");
+        let n_cols = model.centroids[0].len();
+        let k = model.centroids.len();
+        let mut data = Vec::with_capacity(k * n_cols);
+        for centroid in &model.centroids {
+            data.extend_from_slice(centroid);
+        }
+        let col_stride = k.next_power_of_two().clamp(4, COLUMN_SCAN_MAX_K);
+        let mut cols = vec![0.0; col_stride * n_cols];
+        if k <= COLUMN_SCAN_MAX_K {
+            for (c, centroid) in model.centroids.iter().enumerate() {
+                for (j, &v) in centroid.iter().enumerate() {
+                    cols[j * col_stride + c] = v;
+                }
+            }
+        }
+        let norms = model.centroid_norms();
+        Self { data, cols, col_stride, norms, n_cols }
+    }
+
+    /// Transposed distance sweep with a compile-time column width `K`
+    /// (== `self.col_stride`): all running sums advance together through
+    /// contiguous fixed-shape loads, which the auto-vectoriser turns
+    /// into a handful of vector FMAs per query coordinate. Accumulator
+    /// `c` receives exactly [`sq_dist`]'s addition sequence for centroid
+    /// `c`, and the argmin scan uses the same ascending-order
+    /// strict-improvement rule — bit-identical to the scalar scan.
+    fn column_scan<const K: usize>(&self, point: &[f64], k: usize) -> usize {
+        debug_assert_eq!(self.col_stride, K);
+        let mut acc = [0.0f64; K];
+        for (&x, col) in point.iter().zip(self.cols.chunks_exact(K)) {
+            for (a, &y) in acc.iter_mut().zip(col) {
+                let d = x - y;
+                *a += d * d;
+            }
+        }
+        let mut best = (0usize, f64::INFINITY);
+        for (c, &d) in acc[..k].iter().enumerate() {
+            if d < best.1 {
+                best = (c, d);
+            }
+        }
+        best.0
+    }
+
+    /// Number of centroids.
+    pub fn k(&self) -> usize {
+        self.norms.len()
+    }
+
+    /// Centroid dimensionality.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Centroid `c` as a contiguous slice.
+    #[inline]
+    pub fn row(&self, c: usize) -> &[f64] {
+        &self.data[c * self.n_cols..(c + 1) * self.n_cols]
+    }
+
+    /// Squared distances from `point` to centroids `c..c + 4` — four
+    /// *independent* accumulator chains stepped in lockstep, so their
+    /// floating-point add latencies overlap. Each lane performs exactly
+    /// [`sq_dist`]'s operation sequence on its own centroid, so every
+    /// returned distance carries the same bits as a scalar call.
+    #[inline]
+    fn sq_dist4(&self, point: &[f64], c: usize) -> [f64; 4] {
+        let d = point.len();
+        // `[..d]` re-slices teach the optimizer that every row spans the
+        // whole loop range, so the inner accesses are bounds-check-free.
+        let r0 = &self.row(c)[..d];
+        let r1 = &self.row(c + 1)[..d];
+        let r2 = &self.row(c + 2)[..d];
+        let r3 = &self.row(c + 3)[..d];
+        let mut acc = [0.0f64; 4];
+        for (j, &x) in point.iter().enumerate() {
+            let d0 = x - r0[j];
+            acc[0] += d0 * d0;
+            let d1 = x - r1[j];
+            acc[1] += d1 * d1;
+            let d2 = x - r2[j];
+            acc[2] += d2 * d2;
+            let d3 = x - r3[j];
+            acc[3] += d3 * d3;
+        }
+        acc
+    }
+
+    /// Index of the centroid nearest to `point` — bit-identical to
+    /// [`KMeansModel::predict_pruned`] with the model's cached norms.
+    ///
+    /// With telemetry off, the scan runs without the norm prefilter: the
+    /// prefilter only ever skips candidates whose distance lower bound
+    /// already exceeds the best (it cannot change the argmin — the same
+    /// soundness `predict` vs `predict_pruned` equivalence tests pin),
+    /// and at serving-plane region counts the gap checks cost more than
+    /// the exact distances they save. Distances are computed four
+    /// centroids at a time ([`Self::sq_dist4`]) but compared strictly in
+    /// centroid order with the same strict-improvement rule, so the
+    /// argmin (first centroid wins ties) is unchanged. The prefiltered
+    /// path is kept when telemetry records so the
+    /// `online.pruned_candidates` counter stays indistinguishable from
+    /// the interpreted plane's.
+    ///
+    /// # Panics
+    /// Panics if `point.len() != self.n_cols()`.
+    pub fn nearest(&self, point: &[f64]) -> usize {
+        assert_eq!(point.len(), self.n_cols, "point dimensionality must match centroids");
+        if !falcc_telemetry::enabled() {
+            let k = self.norms.len();
+            // Compile-time widths so the transposed sweep's inner loop
+            // is a fixed-shape vector body; k values off the powers of
+            // two pad up to the next one (padding columns are zero and
+            // ignored by the argmin bound).
+            match k {
+                1 => return 0,
+                2..=4 => return self.column_scan::<4>(point, k),
+                5..=8 => return self.column_scan::<8>(point, k),
+                9..=16 => return self.column_scan::<16>(point, k),
+                17..=COLUMN_SCAN_MAX_K => return self.column_scan::<COLUMN_SCAN_MAX_K>(point, k),
+                _ => {}
+            }
+            let mut best = (0usize, f64::INFINITY);
+            let mut c = 0;
+            while c + 4 <= k {
+                let dists = self.sq_dist4(point, c);
+                for (lane, d) in dists.into_iter().enumerate() {
+                    if d < best.1 {
+                        best = (c + lane, d);
+                    }
+                }
+                c += 4;
+            }
+            for tail in c..k {
+                let d = sq_dist(point, self.row(tail));
+                if d < best.1 {
+                    best = (tail, d);
+                }
+            }
+            return best.0;
+        }
+        let p_norm = point.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let mut best = (0usize, f64::INFINITY);
+        let mut pruned = 0u64;
+        for c in 0..self.norms.len() {
+            if best.1.is_finite() {
+                let gap = (p_norm - self.norms[c]).abs()
+                    - NORM_GAP_MARGIN * (p_norm + self.norms[c]);
+                if gap > 0.0 && gap * gap * LB_DEFLATE >= best.1 {
+                    pruned += 1;
+                    continue;
+                }
+            }
+            let d = sq_dist(point, self.row(c));
+            if d < best.1 {
+                best = (c, d);
+            }
+        }
+        falcc_telemetry::counters::ONLINE_PRUNED_CANDIDATES.add(pruned);
+        best.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KMeans;
+    use falcc_dataset::dataset::ProjectedMatrix;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    fn random_points(n: usize, d: usize, seed: u64) -> ProjectedMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<f64> = (0..n * d).map(|_| rng.gen_range(-4.0..4.0)).collect();
+        ProjectedMatrix { data, n_cols: d, n_rows: n }
+    }
+
+    #[test]
+    fn nearest_is_bit_identical_to_predict_pruned() {
+        for (k, d, seed) in [(1usize, 2usize, 1u64), (4, 3, 2), (9, 5, 3), (16, 1, 4)] {
+            let points = random_points(240, d, seed);
+            let model = KMeans::new(k, seed).fit(&points);
+            let matrix = CentroidMatrix::from_model(&model);
+            let norms = model.centroid_norms();
+            assert_eq!(matrix.k(), model.k());
+            assert_eq!(matrix.n_cols(), d);
+
+            let queries = random_points(300, d, seed ^ 0xABCD);
+            for i in 0..queries.n_rows {
+                let q = queries.row(i);
+                assert_eq!(
+                    model.predict_pruned(q, &norms),
+                    matrix.nearest(q),
+                    "divergence at k={k} d={d} seed={seed} query {i}"
+                );
+            }
+            // Centroids on their own positions too (zero-distance path).
+            for c in 0..model.k() {
+                assert_eq!(model.predict_pruned(matrix.row(c), &norms), matrix.nearest(matrix.row(c)));
+            }
+        }
+    }
+
+    #[test]
+    fn rows_match_source_centroids() {
+        let points = random_points(120, 4, 9);
+        let model = KMeans::new(5, 9).fit(&points);
+        let matrix = CentroidMatrix::from_model(&model);
+        for (c, centroid) in model.centroids.iter().enumerate() {
+            assert_eq!(matrix.row(c), centroid.as_slice());
+        }
+    }
+}

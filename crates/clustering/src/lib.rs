@@ -13,9 +13,11 @@
 //!   consistency metric on larger inputs.
 
 pub mod estimate;
+pub mod flat;
 pub mod kmeans;
 pub mod knn;
 
 pub use estimate::{elbow_k, log_means, KEstimateConfig};
+pub use flat::CentroidMatrix;
 pub use kmeans::{extend_centroids, KMeans, KMeansModel};
 pub use knn::{BruteKnn, KdTree};

@@ -1,0 +1,410 @@
+//! The compiled serving plane: flattened inference artifacts with
+//! region-batched dispatch.
+//!
+//! [`FalccModel::compile`] lowers a fitted model into a [`CompiledModel`]
+//! built for the online hot path:
+//!
+//! * **Flat members** — every *distinct* pool member reachable from the
+//!   region→group dispatch table is compiled once into
+//!   structure-of-arrays form ([`falcc_models::FlatPool`]): trees become
+//!   index-linked parallel slabs traversed by a tight compare-and-jump
+//!   loop, ensembles share one node arena with per-tree offsets, and
+//!   linear/Bayes members get dense parameter slabs.
+//! * **Flat region match** — the centroids move into one contiguous
+//!   [`falcc_clustering::CentroidMatrix`] reusing the norm-pruned scan.
+//! * **Deduplicated dispatch** — `dispatch[region · n_groups + group]`
+//!   maps straight to a compiled-member id; a pool member referenced by
+//!   many (region, group) cells is compiled exactly once
+//!   (`serve.dedup_models`).
+//!
+//! [`CompiledModel::classify_batch`] buckets validated rows by compiled
+//! member and runs each distinct member once over its whole bucket, so a
+//! member's slabs stay cache-resident instead of being evicted by
+//! row-order interleaving. Predictions are scattered back in input
+//! order; combined with the deterministic ordered-merge parallel layer
+//! this keeps the batch output equal to the row-by-row sequence for
+//! every thread count.
+//!
+//! **Equivalence contract**: every entry point is *bit-identical* to its
+//! interpreted counterpart — [`CompiledModel::try_classify`] to
+//! [`FalccModel::try_classify`] (same `Result<u8, RowFault>`, including
+//! injected faults), [`CompiledModel::classify_batch`] to
+//! [`FalccModel::classify_batch`], and the [`FairClassifier`]
+//! `predict_dataset` override to the interpreted one. The
+//! `compiled_equivalence` suite and the `exp_serving --smoke` CI gate
+//! pin this.
+
+use crate::error::RowFault;
+use crate::faults::FaultSite;
+use crate::framework::FairClassifier;
+use crate::offline::FalccModel;
+use crate::online::{project_row_into, PROJ_STACK_DIMS};
+use falcc_clustering::CentroidMatrix;
+use falcc_dataset::{Dataset, GroupId};
+use falcc_models::{parallel_map, parallel_map_range, FlatPool};
+use std::sync::Arc;
+
+/// Bucket slices handed to worker threads. Large buckets are cut into
+/// chunks this size so parallelism survives a dispatch table dominated by
+/// one member, without perturbing results (each row is pure).
+const BUCKET_CHUNK: usize = 512;
+
+/// Assignment sentinel for rows that failed validation.
+const SKIP: u32 = u32::MAX;
+
+/// A fitted FALCC model lowered into flat serving artifacts. Borrows the
+/// source model for validation metadata (schema, group index, fault
+/// plan, threads knob); all hot-path state is owned and contiguous.
+pub struct CompiledModel<'m> {
+    model: &'m FalccModel,
+    centroids: CentroidMatrix,
+    pool: FlatPool,
+    /// `dispatch[region * n_groups + group.index()]` → compiled member id.
+    dispatch: Vec<u32>,
+    n_groups: usize,
+}
+
+impl FalccModel {
+    /// Lowers the fitted model into the compiled serving plane.
+    ///
+    /// Compilation cost is `serve.compile_ns`; the deduplicated member
+    /// count lands in `serve.dedup_models`. Every classification entry
+    /// point of the result is bit-identical to the interpreted one here.
+    pub fn compile(&self) -> CompiledModel<'_> {
+        let _sp = falcc_telemetry::span("serve.compile");
+        let t0 = std::time::Instant::now();
+        let n_groups = self.group_index().len();
+        let n_regions = self.n_regions();
+        // Dedup: first-seen order over (region, group) cells, so compiled
+        // ids are deterministic and independent of pool layout churn.
+        let mut compiled_id: Vec<Option<u32>> = vec![None; self.pool().models.len()];
+        let mut reachable = Vec::new();
+        let mut dispatch = Vec::with_capacity(n_regions * n_groups);
+        for region in 0..n_regions {
+            let combo = self.combo(region);
+            for &pool_idx in combo.iter().take(n_groups) {
+                let id = *compiled_id[pool_idx].get_or_insert_with(|| {
+                    reachable.push(Arc::clone(&self.pool().models[pool_idx].model));
+                    (reachable.len() - 1) as u32
+                });
+                dispatch.push(id);
+            }
+        }
+        let pool = FlatPool::compile(&reachable);
+        let centroids = CentroidMatrix::from_model(self.kmeans());
+        falcc_telemetry::counters::SERVE_COMPILE_NS.add(t0.elapsed().as_nanos() as u64);
+        falcc_telemetry::gauges::SERVE_DEDUP_MODELS.set(pool.len() as u64);
+        CompiledModel { model: self, centroids, pool, dispatch, n_groups }
+    }
+}
+
+impl CompiledModel<'_> {
+    /// Distinct compiled members — the deduplicated reach of the
+    /// dispatch table (≤ pool size, often far below regions × groups).
+    pub fn n_models(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Number of local regions.
+    pub fn n_regions(&self) -> usize {
+        self.centroids.k()
+    }
+
+    /// Total flat tree nodes across all compiled members (diagnostics).
+    pub fn n_nodes(&self) -> usize {
+        self.pool.n_nodes()
+    }
+
+    /// Compiled member id serving `(region, group)`.
+    fn member_of(&self, region: usize, group: GroupId) -> u32 {
+        self.dispatch[region * self.n_groups + group.index()]
+    }
+
+    /// Compiled single-row classification — bit-identical to
+    /// [`FalccModel::try_classify`], allocation-free in steady state.
+    ///
+    /// # Errors
+    /// The same first [`RowFault`] the interpreted path reports.
+    pub fn try_classify(&self, row: &[f64]) -> Result<u8, RowFault> {
+        let group = match self.model.validate_row(row) {
+            Ok(g) => g,
+            Err(fault) => {
+                falcc_telemetry::counters::ONLINE_ROWS_REJECTED.incr();
+                return Err(fault);
+            }
+        };
+        let proxy = self.model.proxy_outcome();
+        let mut stack = [0.0f64; PROJ_STACK_DIMS];
+        let region = if proxy.attrs.len() <= PROJ_STACK_DIMS {
+            let buf = &mut stack[..proxy.attrs.len()];
+            project_row_into(row, &proxy.attrs, proxy.weights.as_deref(), buf);
+            self.match_region(buf)
+        } else {
+            let projected = proxy.project_row(row);
+            self.match_region(&projected)
+        };
+        Ok(self.pool.predict_row(self.member_of(region, group) as usize, row))
+    }
+
+    /// Compiled single-row classification.
+    ///
+    /// # Panics
+    /// Panics on malformed rows, like [`FalccModel::classify`]; use
+    /// [`Self::try_classify`] for unvalidated rows.
+    pub fn classify(&self, row: &[f64]) -> u8 {
+        match self.try_classify(row) {
+            Ok(z) => z,
+            Err(fault) => panic!("cannot classify row: {fault}"),
+        }
+    }
+
+    /// Nearest-centroid region match over the flat matrix, with the same
+    /// telemetry the interpreted path records.
+    #[inline]
+    fn match_region(&self, projected: &[f64]) -> usize {
+        if falcc_telemetry::enabled() {
+            let t0 = std::time::Instant::now();
+            let region = self.centroids.nearest(projected);
+            falcc_telemetry::histograms::ONLINE_MATCH_NS.record_ns(t0.elapsed());
+            falcc_telemetry::counters::ONLINE_SAMPLES.incr();
+            region
+        } else {
+            self.centroids.nearest(projected)
+        }
+    }
+
+    /// Compiled batch classification — bit-identical to
+    /// [`FalccModel::classify_batch`] (same per-row `Result` sequence,
+    /// same honoured fault plan) for every thread count.
+    ///
+    /// One fused pass per row — fault plan, validation, stack-buffer
+    /// projection, flat region match, member lookup — keeps the row hot
+    /// in L1 across all phases instead of re-streaming the batch once
+    /// per phase. The resolved members then drive the **bucketed**
+    /// prediction pass: each distinct large member runs once over its
+    /// whole bucket (cache-resident slabs, zero per-row allocations),
+    /// and predictions scatter back to input order. Projection uses the
+    /// same arithmetic in the same order as the interpreted batch
+    /// buffer, so the assignments are identical; rejected rows never
+    /// reach projection and surface the same fault the interpreted
+    /// plane records.
+    pub fn classify_batch(&self, rows: &[Vec<f64>]) -> Vec<Result<u8, RowFault>> {
+        let _sp = falcc_telemetry::span("serve.classify_batch");
+        let proxy = self.model.proxy_outcome();
+        let plan = self.model.fault_plan();
+        let threads = self.model.threads();
+        let checked: Vec<Result<u32, RowFault>> =
+            parallel_map_range(rows.len(), threads, |i| {
+                if plan.fires(FaultSite::NonFiniteRow, i as u64) {
+                    return Err(RowFault::NonFinite { column: 0 });
+                }
+                let group = self.model.validate_row(&rows[i])?;
+                let mut stack = [0.0f64; PROJ_STACK_DIMS];
+                let region = if proxy.attrs.len() <= PROJ_STACK_DIMS {
+                    let buf = &mut stack[..proxy.attrs.len()];
+                    project_row_into(&rows[i], &proxy.attrs, proxy.weights.as_deref(), buf);
+                    self.match_region(buf)
+                } else {
+                    self.match_region(&proxy.project_row(&rows[i]))
+                };
+                Ok(self.member_of(region, group))
+            });
+        let rejected = checked.iter().filter(|r| r.is_err()).count();
+        if rejected > 0 {
+            falcc_telemetry::counters::ONLINE_ROWS_REJECTED.add(rejected as u64);
+            if falcc_telemetry::enabled() {
+                falcc_telemetry::event(
+                    "online.rows_rejected",
+                    format!("{rejected} of {} batch rows rejected", rows.len()),
+                );
+            }
+        }
+        let assignment: Vec<u32> =
+            checked.iter().map(|check| *check.as_ref().unwrap_or(&SKIP)).collect();
+        let row_slices: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let preds = self.run_buckets(&row_slices, &assignment, threads);
+        checked
+            .into_iter()
+            .enumerate()
+            .map(|(i, check)| check.map(|_| preds[i]))
+            .collect()
+    }
+
+    /// Runs every validated row through its compiled member and scatters
+    /// predictions back to input order. Positions whose `assignment` is
+    /// [`SKIP`] stay 0 (masked by the caller).
+    ///
+    /// Rows split two ways by the member that serves them
+    /// ([`FlatPool::wants_bucket`]): rows of *small* members are served
+    /// in input order — those members all sit in L1 together, so the
+    /// winning layout is a sequential stream over the row data — while
+    /// each *large* member gets a contiguous bucket evaluated
+    /// stage-major, keeping one tree at a time cache-resident instead of
+    /// re-streaming the whole ensemble per row. Work is cut into
+    /// [`BUCKET_CHUNK`]-row chunks and fanned out through the ordered
+    /// deterministic parallel layer; every row's prediction is a pure
+    /// function of shared state, so the scatter is thread-count
+    /// invariant.
+    fn run_buckets(&self, rows: &[&[f64]], assignment: &[u32], threads: usize) -> Vec<u8> {
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); self.pool.len()];
+        let mut ordered: Vec<u32> = Vec::new();
+        let mut bucketed = 0u64;
+        for (i, &member) in assignment.iter().enumerate() {
+            if member != SKIP {
+                if self.pool.wants_bucket(member as usize) {
+                    buckets[member as usize].push(i as u32);
+                    bucketed += 1;
+                } else {
+                    ordered.push(i as u32);
+                }
+            }
+        }
+        falcc_telemetry::counters::SERVE_BUCKET_ROWS.add(bucketed);
+        // One chunk stream covers both layouts: `Some(member)` is a
+        // bucket slice of that member, `None` an input-order slice of
+        // small-member rows resolved per row via `assignment`.
+        let chunks: Vec<(Option<u32>, &[u32])> = buckets
+            .iter()
+            .enumerate()
+            .flat_map(|(member, idxs)| {
+                idxs.chunks(BUCKET_CHUNK).map(move |chunk| (Some(member as u32), chunk))
+            })
+            .chain(ordered.chunks(BUCKET_CHUNK).map(|chunk| (None, chunk)))
+            .collect();
+        let chunk_preds: Vec<Vec<u8>> = parallel_map(&chunks, threads, |_, (member, idxs)| {
+            match member {
+                Some(member) => self.pool.predict_bucket(*member as usize, rows, idxs),
+                None => idxs
+                    .iter()
+                    .map(|&i| {
+                        self.pool
+                            .predict_row(assignment[i as usize] as usize, rows[i as usize])
+                    })
+                    .collect(),
+            }
+        });
+        let mut out = vec![0u8; rows.len()];
+        for ((_, idxs), preds) in chunks.iter().zip(&chunk_preds) {
+            for (&i, &p) in idxs.iter().zip(preds) {
+                out[i as usize] = p;
+            }
+        }
+        out
+    }
+}
+
+impl FairClassifier for CompiledModel<'_> {
+    fn predict_row(&self, row: &[f64]) -> u8 {
+        self.classify(row)
+    }
+
+    fn name(&self) -> &str {
+        self.model.name_str()
+    }
+
+    /// Bucketed override for schema-validated datasets — bit-identical
+    /// to the interpreted [`FalccModel`] `predict_dataset`. Like
+    /// [`CompiledModel::classify_batch`], group resolution, projection,
+    /// and region match fuse into one pass per row (the stack-buffer
+    /// projection performs the same arithmetic as the interpreted
+    /// batch buffer, so the assignments are identical).
+    fn predict_dataset(&self, ds: &Dataset) -> Vec<u8> {
+        let _sp = falcc_telemetry::span("serve.classify_batch");
+        let proxy = self.model.proxy_outcome();
+        let threads = self.model.threads();
+        let assignment: Vec<u32> = parallel_map_range(ds.len(), threads, |i| {
+            // Same group resolution as the interpreted dataset path (the
+            // model's own index; dataset rows passed schema validation).
+            let group = match self.model.group_index().group_of(ds.row(i)) {
+                Ok(g) => g,
+                Err(_) => {
+                    panic!("dataset row escaped validation: {}", RowFault::GroupOutOfDomain)
+                }
+            };
+            let mut stack = [0.0f64; PROJ_STACK_DIMS];
+            let region = if proxy.attrs.len() <= PROJ_STACK_DIMS {
+                let buf = &mut stack[..proxy.attrs.len()];
+                project_row_into(ds.row(i), &proxy.attrs, proxy.weights.as_deref(), buf);
+                self.match_region(buf)
+            } else {
+                self.match_region(&proxy.project_row(ds.row(i)))
+            };
+            self.member_of(region, group)
+        });
+        let rows: Vec<&[f64]> = (0..ds.len()).map(|i| ds.row(i)).collect();
+        self.run_buckets(&rows, &assignment, threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FalccConfig;
+    use falcc_dataset::synthetic::{generate, SyntheticConfig};
+    use falcc_dataset::{SplitRatios, ThreeWaySplit};
+
+    fn fitted(n: usize, seed: u64) -> (FalccModel, ThreeWaySplit) {
+        let mut dcfg = SyntheticConfig::social(0.3);
+        dcfg.n = n;
+        let ds = generate(&dcfg, seed).unwrap();
+        let split = ThreeWaySplit::split(&ds, SplitRatios::PAPER, seed).unwrap();
+        let mut cfg = FalccConfig::default();
+        cfg.scale_for_tests();
+        let model = FalccModel::fit(&split.train, &split.validation, &cfg).unwrap();
+        (model, split)
+    }
+
+    #[test]
+    fn dispatch_covers_every_region_group_cell_and_dedups() {
+        let (model, _) = fitted(700, 21);
+        let compiled = model.compile();
+        assert_eq!(compiled.dispatch.len(), model.n_regions() * compiled.n_groups);
+        assert!(compiled.n_models() >= 1);
+        // Dedup can never exceed the pool, and every id is in range.
+        assert!(compiled.n_models() <= model.pool().models.len());
+        assert!(compiled
+            .dispatch
+            .iter()
+            .all(|&id| (id as usize) < compiled.n_models()));
+        assert_eq!(compiled.n_regions(), model.n_regions());
+    }
+
+    #[test]
+    fn single_row_matches_interpreted_bit_for_bit() {
+        let (model, split) = fitted(900, 22);
+        let compiled = model.compile();
+        for i in 0..split.test.len() {
+            let row = split.test.row(i);
+            assert_eq!(model.try_classify(row), compiled.try_classify(row), "row {i}");
+        }
+        // Malformed rows fault identically.
+        let mut bad = split.test.row(0).to_vec();
+        bad[2] = f64::NAN;
+        assert_eq!(model.try_classify(&bad), compiled.try_classify(&bad));
+        assert_eq!(model.try_classify(&[1.0]), compiled.try_classify(&[1.0]));
+    }
+
+    #[test]
+    fn batch_and_dataset_paths_match_interpreted() {
+        let (model, split) = fitted(900, 23);
+        let compiled = model.compile();
+        let rows: Vec<Vec<f64>> =
+            (0..split.test.len()).map(|i| split.test.row(i).to_vec()).collect();
+        assert_eq!(model.classify_batch(&rows), compiled.classify_batch(&rows));
+        assert_eq!(model.predict_dataset(&split.test), compiled.predict_dataset(&split.test));
+    }
+
+    #[test]
+    fn fault_plan_is_honoured_identically() {
+        let (mut model, split) = fitted(700, 24);
+        let mut plan = crate::faults::FaultPlan::default();
+        plan.poison_row(2);
+        model.set_fault_plan(plan);
+        let compiled = model.compile();
+        let rows: Vec<Vec<f64>> = (0..8).map(|i| split.test.row(i).to_vec()).collect();
+        let interpreted = model.classify_batch(&rows);
+        let out = compiled.classify_batch(&rows);
+        assert!(out[2].is_err());
+        assert_eq!(interpreted, out);
+    }
+}

@@ -17,6 +17,7 @@ use falcc_models::{enumerate_combinations, parallel_map, predict_dataset, ModelP
 /// * the per-cluster best model combination `MC` (one pool index per
 ///   sensitive group);
 /// * the proxy outcome so new samples are projected identically.
+#[derive(Clone)]
 pub struct FalccModel {
     pub(crate) schema: falcc_dataset::Schema,
     pub(crate) pool: ModelPool,

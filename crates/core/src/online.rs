@@ -10,7 +10,37 @@ use crate::error::RowFault;
 use crate::faults::FaultSite;
 use crate::framework::FairClassifier;
 use crate::offline::FalccModel;
+use falcc_dataset::{AttrId, GroupId};
 use falcc_models::parallel_map_range;
+
+/// Single-row projections at or below this width use a stack buffer
+/// instead of a heap allocation (FALCC's non-sensitive projections are a
+/// handful of attributes; anything wider falls back to a `Vec`).
+pub(crate) const PROJ_STACK_DIMS: usize = 32;
+
+/// Projects `row` into `out` — the same arithmetic, in the same order, as
+/// [`falcc_dataset::Dataset::project_row`], writing into caller-provided
+/// storage instead of allocating.
+pub(crate) fn project_row_into(
+    row: &[f64],
+    attrs: &[AttrId],
+    weights: Option<&[f64]>,
+    out: &mut [f64],
+) {
+    debug_assert_eq!(out.len(), attrs.len());
+    match weights {
+        Some(w) => {
+            for ((o, &a), &wa) in out.iter_mut().zip(attrs).zip(w) {
+                *o = row[a] * wa;
+            }
+        }
+        None => {
+            for (o, &a) in out.iter_mut().zip(attrs) {
+                *o = row[a];
+            }
+        }
+    }
+}
 
 impl FalccModel {
     /// Step 2 of the online phase: which local region a (full-width) sample
@@ -44,28 +74,46 @@ impl FalccModel {
     /// # Errors
     /// The first [`RowFault`] detected, checked in that order.
     pub fn try_classify(&self, row: &[f64]) -> Result<u8, RowFault> {
-        if let Some(fault) = self.row_fault(row) {
-            falcc_telemetry::counters::ONLINE_ROWS_REJECTED.incr();
-            return Err(fault);
+        // Validation resolves the sensitive group as a side effect; thread
+        // it through instead of looking it up a second time.
+        let group = match self.validate_row(row) {
+            Ok(g) => g,
+            Err(fault) => {
+                falcc_telemetry::counters::ONLINE_ROWS_REJECTED.incr();
+                return Err(fault);
+            }
+        };
+        let proxy = self.proxy_outcome();
+        // Steady-state the single-row path allocates nothing: the
+        // projection lands in a stack buffer (same arithmetic as the
+        // heap-allocating `project_row`, so the same prediction).
+        let mut stack = [0.0f64; PROJ_STACK_DIMS];
+        if proxy.attrs.len() <= PROJ_STACK_DIMS {
+            let buf = &mut stack[..proxy.attrs.len()];
+            project_row_into(row, &proxy.attrs, proxy.weights.as_deref(), buf);
+            Ok(self.classify_projected_in(row, buf, group))
+        } else {
+            let projected = proxy.project_row(row);
+            Ok(self.classify_projected_in(row, &projected, group))
         }
-        let projected = self.proxy_outcome().project_row(row);
-        Ok(self.classify_projected(row, &projected))
     }
 
-    /// Validation shared by the single-row and batch entry points. `None`
-    /// means the row is safe for [`Self::classify_projected`].
-    fn row_fault(&self, row: &[f64]) -> Option<RowFault> {
+    /// Validation shared by the single-row and batch entry points,
+    /// returning the row's sensitive group on success — resolving the
+    /// group *is* the domain check, so callers must not look it up again.
+    ///
+    /// # Errors
+    /// The first [`RowFault`] detected: width, then finiteness, then
+    /// group domain.
+    pub(crate) fn validate_row(&self, row: &[f64]) -> Result<GroupId, RowFault> {
         let expected = self.schema().n_attrs();
         if row.len() != expected {
-            return Some(RowFault::WrongWidth { expected, found: row.len() });
+            return Err(RowFault::WrongWidth { expected, found: row.len() });
         }
         if let Some(column) = row.iter().position(|v| !v.is_finite()) {
-            return Some(RowFault::NonFinite { column });
+            return Err(RowFault::NonFinite { column });
         }
-        if self.group_index().group_of(row).is_err() {
-            return Some(RowFault::GroupOutOfDomain);
-        }
-        None
+        self.group_index().group_of(row).map_err(|_| RowFault::GroupOutOfDomain)
     }
 
     /// Classification of one sample whose projection is already computed —
@@ -83,6 +131,13 @@ impl FalccModel {
                 panic!("caller passed an unvalidated row: {}", RowFault::GroupOutOfDomain)
             }
         };
+        self.classify_projected_in(row, projected, group)
+    }
+
+    /// [`Self::classify_projected`] with the sensitive group already
+    /// resolved (the batch and single-row entry points get it for free
+    /// from validation).
+    fn classify_projected_in(&self, row: &[f64], projected: &[f64], group: GroupId) -> u8 {
         // Both arms run the identical match; the enabled arm additionally
         // times it. The disabled path never reads the clock.
         let cluster = if falcc_telemetry::enabled() {
@@ -118,17 +173,19 @@ impl FalccModel {
         // Validation comes first because the shared projection pass
         // indexes every row by schema position — a short row would fault
         // inside projection, before any per-row error could be produced.
-        let faults: Vec<Option<RowFault>> = rows
+        // It also resolves each valid row's group, consumed downstream
+        // instead of a second lookup.
+        let checked: Vec<Result<GroupId, RowFault>> = rows
             .iter()
             .enumerate()
             .map(|(i, row)| {
                 if plan.fires(FaultSite::NonFiniteRow, i as u64) {
-                    return Some(RowFault::NonFinite { column: 0 });
+                    return Err(RowFault::NonFinite { column: 0 });
                 }
-                self.row_fault(row)
+                self.validate_row(row)
             })
             .collect();
-        let rejected = faults.iter().filter(|f| f.is_some()).count();
+        let rejected = checked.iter().filter(|r| r.is_err()).count();
         if rejected == 0 {
             // Happy path: one flat projection buffer for the whole batch.
             let projected = falcc_dataset::Dataset::project_rows(
@@ -136,8 +193,11 @@ impl FalccModel {
                 &proxy.attrs,
                 proxy.weights.as_deref(),
             );
-            return parallel_map_range(rows.len(), self.threads(), |i| {
-                Ok(self.classify_projected(&rows[i], projected.row(i)))
+            return parallel_map_range(rows.len(), self.threads(), |i| match &checked[i] {
+                Ok(group) => {
+                    Ok(self.classify_projected_in(&rows[i], projected.row(i), *group))
+                }
+                Err(fault) => Err(fault.clone()),
             });
         }
         falcc_telemetry::counters::ONLINE_ROWS_REJECTED.add(rejected as u64);
@@ -153,17 +213,17 @@ impl FalccModel {
         let stand_in = vec![0.0; self.schema().n_attrs()];
         let safe: Vec<Vec<f64>> = rows
             .iter()
-            .zip(&faults)
-            .map(|(row, fault)| if fault.is_some() { stand_in.clone() } else { row.clone() })
+            .zip(&checked)
+            .map(|(row, check)| if check.is_err() { stand_in.clone() } else { row.clone() })
             .collect();
         let projected = falcc_dataset::Dataset::project_rows(
             &safe,
             &proxy.attrs,
             proxy.weights.as_deref(),
         );
-        parallel_map_range(rows.len(), self.threads(), |i| match &faults[i] {
-            Some(fault) => Err(fault.clone()),
-            None => Ok(self.classify_projected(&rows[i], projected.row(i))),
+        parallel_map_range(rows.len(), self.threads(), |i| match &checked[i] {
+            Ok(group) => Ok(self.classify_projected_in(&rows[i], projected.row(i), *group)),
+            Err(fault) => Err(fault.clone()),
         })
     }
 }

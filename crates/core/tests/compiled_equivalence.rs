@@ -1,0 +1,208 @@
+//! Compiled-vs-interpreted equivalence suite.
+//!
+//! The compiled serving plane (`FalccModel::compile`) promises *bit
+//! identity* with the interpreted online phase: for any fitted model and
+//! any input — valid, malformed, or fault-injected — every entry point
+//! returns exactly the same `Result<u8, RowFault>` sequence, at every
+//! thread count. This suite pins that promise over randomised pools,
+//! region counts, rows, and batch compositions.
+
+use std::sync::OnceLock;
+
+use falcc::{ClusterSpec, FairClassifier, FalccConfig, FalccModel, FaultPlan};
+use falcc_dataset::synthetic::{generate, SyntheticConfig};
+use falcc_dataset::{SplitRatios, ThreeWaySplit};
+use falcc_models::{ModelPool, PoolConfig, TrainerKind};
+
+/// Thread counts to exercise (CI additionally pins `FALCC_TEST_THREADS`).
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn split_of(n: usize, seed: u64) -> ThreeWaySplit {
+    let mut dcfg = SyntheticConfig::social(0.3);
+    dcfg.n = n;
+    let ds = generate(&dcfg, seed).expect("generate");
+    ThreeWaySplit::split(&ds, SplitRatios::PAPER, seed).expect("split")
+}
+
+fn config(seed: u64, k: usize, trainer: TrainerKind, pool_size: usize) -> FalccConfig {
+    FalccConfig {
+        clustering: ClusterSpec::FixedK(k),
+        pool: PoolConfig { trainer, pool_size, ..Default::default() },
+        seed,
+        ..FalccConfig::default()
+    }
+}
+
+/// Fitted fixtures spanning the model-family and region-count space:
+/// boosted and bagged grid pools at different `k`, plus the
+/// `standard_five` pool (tree, AdaBoost, logistic, Bayes, kNN) so every
+/// flat member kind — including the kNN/opaque fallback — serves rows.
+fn fixtures() -> &'static Vec<(FalccModel, ThreeWaySplit)> {
+    static FIXTURES: OnceLock<Vec<(FalccModel, ThreeWaySplit)>> = OnceLock::new();
+    FIXTURES.get_or_init(|| {
+        let mut out = Vec::new();
+        for (seed, k, trainer, pool_size) in [
+            (41u64, 4usize, TrainerKind::AdaBoost, 3usize),
+            (42, 2, TrainerKind::RandomForest, 4),
+            (43, 6, TrainerKind::AdaBoost, 0), // whole grid
+        ] {
+            let split = split_of(900, seed);
+            let cfg = config(seed, k, trainer, pool_size);
+            let model =
+                FalccModel::fit(&split.train, &split.validation, &cfg).expect("fit");
+            out.push((model, split));
+        }
+        // All five model families through fit_with_pool.
+        let split = split_of(900, 44);
+        let pool = ModelPool::standard_five(&split.train, 44);
+        let cfg = config(44, 3, TrainerKind::AdaBoost, 0);
+        let model = FalccModel::fit_with_pool(&split.validation, pool, &cfg)
+            .expect("fit_with_pool");
+        out.push((model, split));
+        out
+    })
+}
+
+/// A batch interleaving valid test rows with every malformed-row kind.
+fn mixed_batch(split: &ThreeWaySplit, n_valid: usize) -> Vec<Vec<f64>> {
+    let width = split.test.row(0).len();
+    let mut rows: Vec<Vec<f64>> =
+        (0..n_valid).map(|i| split.test.row(i % split.test.len()).to_vec()).collect();
+    let mut nan_row = split.test.row(0).to_vec();
+    nan_row[width - 1] = f64::NAN;
+    let mut inf_row = split.test.row(1).to_vec();
+    inf_row[0] = f64::NEG_INFINITY;
+    let mut alien = split.test.row(2).to_vec();
+    alien[0] = 42.0; // sensitive attribute outside {0, 1}
+    let mut wide = split.test.row(3).to_vec();
+    wide.push(0.5);
+    for (slot, bad) in
+        [(2usize, nan_row), (5, inf_row), (7, alien), (11, vec![1.0]), (13, wide)]
+    {
+        if slot < rows.len() {
+            rows[slot] = bad;
+        } else {
+            rows.push(bad);
+        }
+    }
+    rows
+}
+
+#[test]
+fn batches_with_malformed_rows_are_identical_at_all_thread_counts() {
+    let env_threads: Option<usize> =
+        std::env::var("FALCC_TEST_THREADS").ok().and_then(|v| v.parse().ok());
+    for (fixture_idx, (model, split)) in fixtures().iter().enumerate() {
+        let rows = mixed_batch(split, 40);
+        let mut model = model.clone();
+        let mut reference = None;
+        for threads in THREAD_COUNTS.into_iter().chain(env_threads) {
+            model.set_threads(threads);
+            let interpreted = model.classify_batch(&rows);
+            let compiled = model.compile();
+            let served = compiled.classify_batch(&rows);
+            assert_eq!(
+                interpreted, served,
+                "fixture {fixture_idx}: compiled batch diverged at {threads} threads"
+            );
+            match &reference {
+                None => reference = Some(served),
+                Some(r) => assert_eq!(
+                    r, &served,
+                    "fixture {fixture_idx}: thread count {threads} changed results"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn single_row_path_is_identical_for_every_fixture() {
+    for (fixture_idx, (model, split)) in fixtures().iter().enumerate() {
+        let compiled = model.compile();
+        for i in 0..split.test.len().min(200) {
+            let row = split.test.row(i);
+            assert_eq!(
+                model.try_classify(row),
+                compiled.try_classify(row),
+                "fixture {fixture_idx} row {i}"
+            );
+        }
+        for bad in mixed_batch(split, 3) {
+            assert_eq!(model.try_classify(&bad), compiled.try_classify(&bad));
+        }
+    }
+}
+
+#[test]
+fn predict_dataset_override_is_identical() {
+    for (fixture_idx, (model, split)) in fixtures().iter().enumerate() {
+        let compiled = model.compile();
+        assert_eq!(
+            model.predict_dataset(&split.test),
+            compiled.predict_dataset(&split.test),
+            "fixture {fixture_idx}"
+        );
+    }
+}
+
+#[test]
+fn injected_fault_plans_degrade_identically() {
+    let (model, split) = &fixtures()[0];
+    let mut model = model.clone();
+    let mut plan = FaultPlan::default();
+    plan.poison_row(1).poison_row(6);
+    model.set_fault_plan(plan);
+    let rows = mixed_batch(split, 12);
+    let compiled = model.compile();
+    let interpreted = model.classify_batch(&rows);
+    let served = compiled.classify_batch(&rows);
+    assert!(interpreted[1].is_err() && interpreted[6].is_err());
+    assert_eq!(interpreted, served);
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+    // Random fixture, random batch composition (valid rows drawn from
+    // anywhere in the test split, malformed rows interleaved at random
+    // positions with random poison kinds), random thread count: the
+    // compiled plane must emit the identical Result sequence, and each
+    // row's verdict must equal the single-row paths of both planes.
+    #[test]
+    fn random_batches_serve_identically(
+        fixture_idx in 0usize..4,
+        start in 0usize..500,
+        len in 1usize..48,
+        poison_at in 0usize..48,
+        poison_kind in 0u8..5,
+        threads_idx in 0usize..3,
+    ) {
+        let (model, split) = &fixtures()[fixture_idx];
+        let mut model = model.clone();
+        model.set_threads(THREAD_COUNTS[threads_idx]);
+        let mut rows: Vec<Vec<f64>> = (0..len)
+            .map(|i| split.test.row((start + i) % split.test.len()).to_vec())
+            .collect();
+        if poison_at < rows.len() {
+            let width = rows[poison_at].len();
+            match poison_kind {
+                0 => rows[poison_at][width / 2] = f64::NAN,
+                1 => rows[poison_at][width - 1] = f64::INFINITY,
+                2 => rows[poison_at][0] = 9.0, // out-of-domain sensitive
+                3 => rows[poison_at] = vec![0.25; 2],
+                _ => {} // leave the batch fully valid
+            }
+        }
+        let compiled = model.compile();
+        let interpreted = model.classify_batch(&rows);
+        let served = compiled.classify_batch(&rows);
+        proptest::prop_assert_eq!(&interpreted, &served);
+        for (i, row) in rows.iter().enumerate() {
+            let single_interpreted = model.try_classify(row);
+            let single_compiled = compiled.try_classify(row);
+            proptest::prop_assert_eq!(&single_interpreted, &single_compiled);
+            proptest::prop_assert_eq!(&interpreted[i], &single_interpreted, "row {}", i);
+        }
+    }
+}

@@ -75,6 +75,13 @@ impl GaussianNb {
         ];
         Self { attrs: attrs.to_vec(), stats, log_prior, name: "gauss_nb".to_string() }
     }
+
+    /// `(attrs, per-class (mean, variance) stats, log priors)` for
+    /// compilation into flat form (see [`crate::flat`]).
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn flat_parts(&self) -> (&[AttrId], &[Vec<(f64, f64)>; 2], [f64; 2]) {
+        (&self.attrs, &self.stats, self.log_prior)
+    }
 }
 
 impl Classifier for GaussianNb {

@@ -119,6 +119,12 @@ impl AdaBoost {
     pub fn n_stages(&self) -> usize {
         self.stages.len()
     }
+
+    /// The `(tree, alpha)` stages in boosting order, for compilation into
+    /// flat form (see [`crate::flat`]).
+    pub(crate) fn stages(&self) -> &[(DecisionTree, f64)] {
+        &self.stages
+    }
 }
 
 impl Classifier for AdaBoost {

@@ -1,0 +1,927 @@
+//! Flattened structure-of-arrays inference artifacts.
+//!
+//! The training-side model structs ([`crate::DecisionTree`],
+//! [`crate::AdaBoost`], [`crate::RandomForest`], …) are laid out for
+//! *fitting*: one heap allocation per tree, enum-tagged nodes, and a
+//! virtual call per prediction. That layout taxes the online hot path —
+//! every row chases pointers through structures scattered across the
+//! heap. This module *compiles* trained models into flat, contiguous,
+//! structure-of-arrays form:
+//!
+//! * every tree of every member lives in one shared [`NodeArena`] — a
+//!   single contiguous slab of packed **16-byte** node records. Trees
+//!   are re-laid-out breadth-first at compile time so a split's two
+//!   children are always adjacent (`right == left + 1`), which lets the
+//!   record drop the explicit right pointer: traversal is a tight
+//!   compare-and-add loop with no enum discriminant and exactly one
+//!   16-byte indexed load per visited node (a per-field
+//!   structure-of-arrays split was measured slower here: the random
+//!   walk of a tree touches one cache line per node in packed form but
+//!   several when the fields live in separate slabs). A leaf
+//!   *self-loops* — its `left` points at itself and its threshold is
+//!   `+∞`, so the comparison always "goes left" back onto the leaf —
+//!   which makes stepping a *total* function; that lets the ensemble
+//!   paths run several independent walks in lockstep for a fixed depth
+//!   with no per-step leaf test — multiple dependent-load chains in
+//!   flight instead of one is what actually hides the L1 latency that
+//!   dominates tree inference. Leaf probabilities live in a parallel
+//!   slab read once per finished walk;
+//! * ensembles (forest, AdaBoost) become per-tree root offsets into that
+//!   arena plus a weights slab;
+//! * logistic regression and naive Bayes copy their parameters into
+//!   dense per-feature slabs (Bayes additionally pre-evaluates the
+//!   per-feature `ln(2π·σ²)` normaliser, a pure function of the trained
+//!   variance);
+//! * members without a flat form (kNN — whose kd-tree already stores its
+//!   training slab contiguously — and externally supplied classifiers)
+//!   fall back to an [`std::sync::Arc`] of the original model.
+//!
+//! **Equivalence contract**: for every member kind,
+//! [`FlatPool::predict_proba_row`] reproduces the interpreted
+//! `Classifier::predict_proba_row` *bit for bit* — same feature
+//! comparisons, same summation order, same tie-breaks. The unit tests
+//! below and the `compiled_equivalence` suite in `falcc-core` pin this
+//! with `f64::to_bits` comparisons.
+
+// `!(x <= thr)` is deliberate throughout the walk loops: it selects the
+// right child exactly when the interpreted `if row[attr] <= thr` takes
+// its else-branch, *including* for NaN — `x > thr` would not.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+use crate::persist::ModelSpec;
+use crate::traits::Classifier;
+use crate::tree::{DecisionTree, Node};
+use std::sync::Arc;
+
+/// One packed tree node: 16 bytes, no enum discriminant, no explicit
+/// right-child pointer.
+///
+/// A split node carries the split attribute in `feat`, the threshold in
+/// `thr`, and the index (absolute within the arena) of its left child
+/// in `left`; the breadth-first compile-time layout guarantees the
+/// right child sits at `left + 1`, so one step is
+/// `left + (row[feat] ⩽ thr ? 0 : 1)` — the exact comparison the
+/// interpreted walk makes, including its NaN behaviour (`⩽` is false,
+/// so NaN goes right). A **leaf** *self-loops*: its `left` is its own
+/// index and its threshold is `+∞`, so any finite feature value
+/// compares `⩽` and the step lands back on the leaf. Splits always
+/// point forward (BFS parents precede children), so `left == self`
+/// identifies a leaf unambiguously — and a walk that has reached its
+/// leaf can keep "stepping" in place, which is what the fixed-depth
+/// multi-lane evaluators below rely on. Leaf probabilities live in the
+/// arena's parallel `probas` slab.
+#[derive(Debug, Clone, Copy)]
+struct PackedNode {
+    thr: f64,
+    feat: u32,
+    left: u32,
+}
+
+/// One shared contiguous slab of packed tree nodes.
+///
+/// Trees are appended contiguously, each re-laid-out breadth-first so
+/// its root is its **first** node and siblings are adjacent.
+/// `probas[i]` is node `i`'s leaf probability (0 for splits — never
+/// read: a walk only resolves its probability on a leaf).
+#[derive(Debug, Default, Clone)]
+pub struct NodeArena {
+    nodes: Vec<PackedNode>,
+    probas: Vec<f64>,
+}
+
+impl NodeArena {
+    /// Total number of nodes across all compiled trees.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no tree has been compiled into the arena.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Appends one tree, returning the absolute index of its root and
+    /// the tree's depth in edges — the exact step count the fixed-depth
+    /// evaluators take (0 for a single-leaf tree).
+    ///
+    /// The interpreted layout (children pushed before parents, root
+    /// last) is re-laid-out **breadth-first**: the root lands first and
+    /// the two children of every split are appended together, so the
+    /// right child always sits at `left + 1` and the packed record can
+    /// drop its right pointer. The relayout only renames node indices —
+    /// every walk still visits the same attribute/threshold sequence to
+    /// the same leaf probability.
+    fn push_tree(&mut self, tree: &DecisionTree) -> (u32, u32) {
+        let nodes = tree.nodes();
+        debug_assert!(!nodes.is_empty(), "fitted trees have at least one node");
+        let base = self.nodes.len() as u32;
+        // BFS over interpreted indices; `order[slot]` = interpreted index
+        // of the node stored at `base + slot`.
+        let mut order = Vec::with_capacity(nodes.len());
+        order.push(nodes.len() - 1); // interpreted root is the last node
+        let mut head = 0;
+        while head < order.len() {
+            if let Node::Split { left, right, .. } = nodes[order[head]] {
+                order.push(left as usize);
+                order.push(right as usize);
+            }
+            head += 1;
+        }
+        debug_assert_eq!(order.len(), nodes.len(), "tree nodes must form one connected tree");
+        let mut new_id = vec![0u32; nodes.len()];
+        for (slot, &interp) in order.iter().enumerate() {
+            new_id[interp] = base + slot as u32;
+        }
+        for (slot, &interp) in order.iter().enumerate() {
+            let own = base + slot as u32;
+            match &nodes[interp] {
+                Node::Leaf { proba } => {
+                    self.nodes.push(PackedNode { thr: f64::INFINITY, feat: 0, left: own });
+                    self.probas.push(*proba);
+                }
+                Node::Split { attr, threshold, left, right } => {
+                    debug_assert_eq!(
+                        new_id[*right as usize],
+                        new_id[*left as usize] + 1,
+                        "BFS appends siblings together"
+                    );
+                    self.nodes.push(PackedNode {
+                        thr: *threshold,
+                        feat: *attr as u32,
+                        left: new_id[*left as usize],
+                    });
+                    self.probas.push(0.0);
+                }
+            }
+        }
+        (base, tree.depth() as u32)
+    }
+
+    /// Tight traversal loop: compare, step, repeat. Replicates the
+    /// interpreted walk exactly — same `row[attr] <= threshold`
+    /// comparison on the same node sequence (`left + 1` *is* the right
+    /// child), returning the same leaf probability. (`left == at`
+    /// detects the self-looping leaf before any row access, so a
+    /// single-leaf tree reads no features, just like interpreted.)
+    #[inline]
+    fn eval(&self, root: u32, row: &[f64]) -> f64 {
+        let mut at = root as usize;
+        loop {
+            let node = self.nodes[at];
+            if node.left as usize == at {
+                return self.probas[at];
+            }
+            at = (node.left + u32::from(!(row[node.feat as usize] <= node.thr))) as usize;
+        }
+    }
+
+    /// Four lockstep walks of four (possibly distinct) trees over one
+    /// row, each taking exactly `depth` unconditional steps; lanes whose
+    /// path ends early spin harmlessly on their self-looping leaf (a
+    /// leaf's "comparison" tests `row[0] ⩽ +∞`, true for every finite
+    /// value, and lands back on the leaf). Per lane, the split
+    /// comparisons and the node sequence up to the leaf are identical to
+    /// [`Self::eval`], so each returned probability carries the same
+    /// bits. The point of the shape: the four walks are *independent*
+    /// dependency chains, so their node loads overlap in the pipeline
+    /// instead of serialising.
+    ///
+    /// `depth` must be ≥ the depth of each of the four trees, and `row`
+    /// must be non-empty and hold only finite values when `depth > 0`
+    /// (the validated-row precondition of every caller).
+    #[inline]
+    fn eval4_trees(&self, roots: [u32; 4], depth: u32, row: &[f64]) -> [f64; 4] {
+        let mut at = roots;
+        for _ in 0..depth {
+            for lane in &mut at {
+                let node = self.nodes[*lane as usize];
+                *lane = node.left + u32::from(!(row[node.feat as usize] <= node.thr));
+            }
+        }
+        at.map(|lane| self.probas[lane as usize])
+    }
+
+    /// `W` lockstep walks of *one* tree over `W` rows — the bucket-path
+    /// dual of [`Self::eval4_trees`]. The row-feature gathers are the
+    /// latency bottleneck on deep trees (each lane's `row[feat]` load
+    /// typically misses L1 once the bucket outgrows it); `W` independent
+    /// chains keep that many misses in flight at once. Same per-lane bit
+    /// identity to [`Self::eval`] as the narrower variants.
+    #[inline]
+    fn eval_wide_rows<const W: usize>(&self, root: u32, depth: u32, rows: [&[f64]; W]) -> [f64; W] {
+        // Lane state stays `u32` (arena offsets are u32 anyway): half the
+        // spill traffic of `usize` lanes once `W` outgrows the register
+        // file.
+        let mut at = [root; W];
+        for _ in 0..depth {
+            for (lane, row) in at.iter_mut().zip(rows) {
+                let node = self.nodes[*lane as usize];
+                *lane = node.left + u32::from(!(row[node.feat as usize] <= node.thr));
+            }
+        }
+        at.map(|lane| self.probas[lane as usize])
+    }
+
+    /// Four lockstep walks of *one* tree over four rows — the bucket-path
+    /// dual of [`Self::eval4_trees`], with the same soundness argument
+    /// and the same per-lane bit identity to [`Self::eval`].
+    #[inline]
+    fn eval4_rows(&self, root: u32, depth: u32, rows: [&[f64]; 4]) -> [f64; 4] {
+        let mut at = [root; 4];
+        for _ in 0..depth {
+            for (lane, row) in at.iter_mut().zip(rows) {
+                let node = self.nodes[*lane as usize];
+                *lane = node.left + u32::from(!(row[node.feat as usize] <= node.thr));
+            }
+        }
+        at.map(|lane| self.probas[lane as usize])
+    }
+}
+
+/// One compiled pool member.
+#[derive(Clone)]
+enum FlatMember {
+    /// Single CART tree: root offset into the arena.
+    Tree { root: u32 },
+    /// AdaBoost: per-stage `(root, alpha)` in stage order, with the
+    /// per-stage tree depths alongside (the fixed step count each walk
+    /// takes). `suffix[i]` over-approximates the total stage weight from
+    /// stage `i` onwards — the hard-label path stops voting once the
+    /// accumulated margin provably out-weighs every remaining stage (see
+    /// [`FlatPool::predict_row`]). All-stump members additionally carry
+    /// the dense [`StumpSlab`] specialization.
+    Boost {
+        stages: Vec<(u32, f64)>,
+        depths: Vec<u32>,
+        suffix: Vec<f64>,
+        stumps: Option<StumpSlab>,
+    },
+    /// Random forest: per-tree roots and depths in tree order.
+    Forest { roots: Vec<u32>, depths: Vec<u32> },
+    /// Logistic regression: dense parameter slabs.
+    Linear {
+        attrs: Vec<u32>,
+        weights: Vec<f64>,
+        means: Vec<f64>,
+        stds: Vec<f64>,
+        bias: f64,
+    },
+    /// Gaussian naive Bayes. Per feature:
+    /// `[mean₀, var₀, ln(2π·var₀), mean₁, var₁, ln(2π·var₁)]` — the log
+    /// normaliser is precomputed at compile time (same `f64` bits as the
+    /// interpreted per-row evaluation of the same expression).
+    Bayes { attrs: Vec<u32>, slab: Vec<[f64; 6]>, log_prior: [f64; 2] },
+    /// No flat form: delegate to the original classifier. Used for kNN
+    /// (its kd-tree already holds a contiguous point slab) and externally
+    /// supplied models.
+    Opaque(Arc<dyn Classifier>),
+}
+
+/// Dense specialization of an all-stump AdaBoost member (every stage
+/// depth ≤ 1). Per stage `i`: the split attribute and threshold, plus
+/// the **pre-signed** vote weights `salpha[i] = [α·vote(left leaf),
+/// α·vote(right leaf)]`. A vote is exactly `±1.0`, so the products
+/// carry the same bits as the interpreted `alpha * vote` — a stage's
+/// margin contribution collapses to one comparison and one add, with no
+/// node loads at all. A depth-0 stage (single leaf) stores `thr = +∞`
+/// with identical weights on both sides, so any row takes the leaf's
+/// vote regardless of the comparison.
+#[derive(Debug, Clone)]
+struct StumpSlab {
+    feats: Vec<u32>,
+    thrs: Vec<f64>,
+    salpha: Vec<[f64; 2]>,
+}
+
+impl std::fmt::Debug for FlatMember {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Tree { .. } => f.write_str("Tree"),
+            Self::Boost { stages, .. } => write!(f, "Boost({} stages)", stages.len()),
+            Self::Forest { roots, .. } => write!(f, "Forest({} trees)", roots.len()),
+            Self::Linear { .. } => f.write_str("Linear"),
+            Self::Bayes { .. } => f.write_str("Bayes"),
+            Self::Opaque(m) => write!(f, "Opaque({})", m.name()),
+        }
+    }
+}
+
+/// Bucket evaluation goes stage-major only for members whose packed
+/// nodes exceed this count (~24 KiB — roughly an L1 data cache). Below
+/// it, the whole member stays cache-resident during a per-row walk, and
+/// re-streaming the bucket's rows once per stage costs more than it
+/// saves; above it, per-row evaluation evicts the member's own trees
+/// between rows and stage-major wins. Both strategies are bit-identical
+/// (same per-row accumulator sequence and exits), so this is purely a
+/// scheduling choice.
+const STAGE_MAJOR_MIN_NODES: u32 = 1024;
+
+/// A set of pool members compiled into shared flat slabs.
+#[derive(Debug, Clone, Default)]
+pub struct FlatPool {
+    arena: NodeArena,
+    members: Vec<FlatMember>,
+    /// Per-member packed-node count (0 for non-tree members) — drives
+    /// the bucket-strategy choice in [`Self::predict_bucket`].
+    footprints: Vec<u32>,
+}
+
+impl FlatPool {
+    /// Compiles `models` in order. Member `i` of the result evaluates
+    /// bit-identically to `models[i]`.
+    pub fn compile(models: &[Arc<dyn Classifier>]) -> Self {
+        let mut pool = Self::default();
+        for model in models {
+            pool.push(model);
+        }
+        pool
+    }
+
+    fn push(&mut self, model: &Arc<dyn Classifier>) {
+        let nodes_before = self.arena.len();
+        let member = match model.to_spec() {
+            Some(ModelSpec::Tree(t)) => {
+                FlatMember::Tree { root: self.arena.push_tree(&t).0 }
+            }
+            Some(ModelSpec::Boost(b)) => {
+                let mut stages = Vec::with_capacity(b.stages().len());
+                let mut depths = Vec::with_capacity(b.stages().len());
+                for (tree, alpha) in b.stages() {
+                    let (root, depth) = self.arena.push_tree(tree);
+                    stages.push((root, *alpha));
+                    depths.push(depth);
+                }
+                // Backward suffix sums of the stage weights, inflated so
+                // float rounding can never make them an under-estimate.
+                let mut suffix = vec![0.0; stages.len() + 1];
+                for i in (0..stages.len()).rev() {
+                    suffix[i] = (suffix[i + 1] + stages[i].1) * (1.0 + 1e-12);
+                }
+                let stumps = if depths.iter().all(|&d| d <= 1) {
+                    let vote = |proba: f64| if proba >= 0.5 { 1.0 } else { -1.0 };
+                    let mut slab = StumpSlab {
+                        feats: Vec::with_capacity(stages.len()),
+                        thrs: Vec::with_capacity(stages.len()),
+                        salpha: Vec::with_capacity(stages.len()),
+                    };
+                    for (tree, alpha) in b.stages() {
+                        let nodes = tree.nodes();
+                        // A depth ≤ 1 tree: its root (last node) is
+                        // either a lone leaf or a split on two leaves.
+                        match nodes[nodes.len() - 1] {
+                            Node::Leaf { proba } => {
+                                slab.feats.push(0);
+                                slab.thrs.push(f64::INFINITY);
+                                let s = alpha * vote(proba);
+                                slab.salpha.push([s, s]);
+                            }
+                            Node::Split { attr, threshold, left, right } => {
+                                let leaf = |at: u32| match nodes[at as usize] {
+                                    Node::Leaf { proba } => proba,
+                                    Node::Split { .. } => {
+                                        unreachable!("depth-1 stage children are leaves")
+                                    }
+                                };
+                                slab.feats.push(attr as u32);
+                                slab.thrs.push(threshold);
+                                slab.salpha.push([
+                                    alpha * vote(leaf(left)),
+                                    alpha * vote(leaf(right)),
+                                ]);
+                            }
+                        }
+                    }
+                    Some(slab)
+                } else {
+                    None
+                };
+                FlatMember::Boost { stages, depths, suffix, stumps }
+            }
+            Some(ModelSpec::Forest(f)) => {
+                let mut roots = Vec::with_capacity(f.trees().len());
+                let mut depths = Vec::with_capacity(f.trees().len());
+                for tree in f.trees() {
+                    let (root, depth) = self.arena.push_tree(tree);
+                    roots.push(root);
+                    depths.push(depth);
+                }
+                FlatMember::Forest { roots, depths }
+            }
+            Some(ModelSpec::Logistic(l)) => {
+                let (attrs, weights, means, stds, bias) = l.flat_parts();
+                FlatMember::Linear {
+                    attrs: attrs.iter().map(|&a| a as u32).collect(),
+                    weights: weights.to_vec(),
+                    means: means.to_vec(),
+                    stds: stds.to_vec(),
+                    bias,
+                }
+            }
+            Some(ModelSpec::Bayes(b)) => {
+                let (attrs, stats, log_prior) = b.flat_parts();
+                let slab = (0..attrs.len())
+                    .map(|j| {
+                        let (m0, v0) = stats[0][j];
+                        let (m1, v1) = stats[1][j];
+                        [
+                            m0,
+                            v0,
+                            (2.0 * std::f64::consts::PI * v0).ln(),
+                            m1,
+                            v1,
+                            (2.0 * std::f64::consts::PI * v1).ln(),
+                        ]
+                    })
+                    .collect();
+                FlatMember::Bayes {
+                    attrs: attrs.iter().map(|&a| a as u32).collect(),
+                    slab,
+                    log_prior,
+                }
+            }
+            // kNN's kd-tree is already a dense slab; anything unknown has
+            // no flat form. Both delegate to the original model.
+            Some(ModelSpec::Knn(_)) | None => FlatMember::Opaque(Arc::clone(model)),
+        };
+        self.footprints.push((self.arena.len() - nodes_before) as u32);
+        self.members.push(member);
+    }
+
+    /// Number of compiled members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when no member has been compiled.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Total tree nodes in the shared arena (diagnostics).
+    pub fn n_nodes(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Whether `member` benefits from bucketed (stage-major) batch
+    /// evaluation. Small members fit in L1 cache — several of them at
+    /// once — so callers serve their rows in input order instead, which
+    /// keeps the *row* stream sequential; bucketing pays off only when a
+    /// member's own nodes would otherwise be evicted between rows.
+    pub fn wants_bucket(&self, member: usize) -> bool {
+        self.footprints[member] >= STAGE_MAJOR_MIN_NODES
+    }
+
+    /// Positive-class probability of member `member` on `row` —
+    /// bit-identical to the interpreted model's `predict_proba_row`.
+    ///
+    /// # Panics
+    /// Panics if `member` is out of range or `row` is narrower than the
+    /// member's trained attributes (same as interpreted).
+    #[inline]
+    pub fn predict_proba_row(&self, member: usize, row: &[f64]) -> f64 {
+        match &self.members[member] {
+            FlatMember::Tree { root } => self.arena.eval(*root, row),
+            FlatMember::Boost { stages, .. } => {
+                // Stage order, same accumulator sequence as interpreted:
+                // margin += α·vote, total += α, then the margin average.
+                let mut margin = 0.0;
+                let mut total_alpha = 0.0;
+                for &(root, alpha) in stages {
+                    let vote = if self.arena.eval(root, row) >= 0.5 { 1.0 } else { -1.0 };
+                    margin += alpha * vote;
+                    total_alpha += alpha;
+                }
+                if total_alpha <= 0.0 {
+                    return 0.5;
+                }
+                0.5 * (margin / total_alpha + 1.0)
+            }
+            FlatMember::Forest { roots, .. } => {
+                let votes =
+                    roots.iter().filter(|&&root| self.arena.eval(root, row) >= 0.5).count();
+                votes as f64 / roots.len() as f64
+            }
+            FlatMember::Linear { attrs, weights, means, stds, bias } => {
+                // Same left-to-right term expression and summation order
+                // as the interpreted `.map(...).sum::<f64>() + bias`.
+                let mut z = 0.0;
+                for (j, &a) in attrs.iter().enumerate() {
+                    z += (row[a as usize] - means[j]) / stds[j] * weights[j];
+                }
+                z += bias;
+                1.0 / (1.0 + (-z).exp())
+            }
+            FlatMember::Bayes { attrs, slab, log_prior } => {
+                // The two class accumulators receive the same addition
+                // sequence as interpreted (per feature: class 0 then 1).
+                let mut ll0 = log_prior[0];
+                let mut ll1 = log_prior[1];
+                for (j, &a) in attrs.iter().enumerate() {
+                    let x = row[a as usize];
+                    let s = &slab[j];
+                    let d0 = x - s[0];
+                    ll0 += -0.5 * (s[2] + d0 * d0 / s[1]);
+                    let d1 = x - s[3];
+                    ll1 += -0.5 * (s[5] + d1 * d1 / s[4]);
+                }
+                let m = ll0.max(ll1);
+                let e0 = (ll0 - m).exp();
+                let e1 = (ll1 - m).exp();
+                e1 / (e0 + e1)
+            }
+            FlatMember::Opaque(model) => model.predict_proba_row(row),
+        }
+    }
+
+    /// Hard 0/1 prediction — same `proba >= 0.5` rule as the interpreted
+    /// [`Classifier::predict_row`] default (no pool member overrides it).
+    ///
+    /// Ensemble members short-circuit: AdaBoost stops voting once the
+    /// accumulated margin out-weighs every remaining stage, and a forest
+    /// stops once the majority is decided. Both exits fire only when the
+    /// completed vote provably lands on the same side of the threshold,
+    /// so the label equals the full [`Self::predict_proba_row`] one:
+    ///
+    /// * **Boost** — exit once `|margin| > suffix[i+1] + total·1e-9`.
+    ///   The remaining stages move the margin by at most the *inflated*
+    ///   suffix weight — each vote is exactly `±α` (multiplying by
+    ///   `±1.0` is exact) and the guard dwarfs the `O(n·ε)` rounding of
+    ///   the remaining additions — so the fully accumulated margin keeps
+    ///   the current sign *and* a magnitude above `~total·1e-9`. That
+    ///   puts the final ratio `margin/total` far outside the zone where
+    ///   `fl(1 + ratio)` collapses to `1.0`, so the label is the margin
+    ///   sign on both planes. Margins that never clear the guard fall
+    ///   through to the interpreted proba expression evaluated verbatim
+    ///   (which is what decides e.g. a tiny negative margin: the ratio
+    ///   rounds away and the interpreted label is `1`, not the sign).
+    /// * **Forest** — votes are integers: the label is decided once
+    ///   `2·votes >= n` (already a majority) or `2·(votes + remaining) <
+    ///   n` (majority unreachable). `votes/n >= 0.5 ⇔ 2·votes >= n`
+    ///   exactly: the division rounds to nearest and the true ratio is
+    ///   at least `1/(2n)` away from `0.5` whenever `2·votes != n`.
+    ///
+    /// Both ensemble arms walk their trees **four at a time** with
+    /// [`NodeArena::eval4_trees`]: the probabilities come back in batches
+    /// but are *accumulated strictly in stage order* with the same
+    /// per-stage exit checks as a one-at-a-time loop, so the accumulator
+    /// bit sequence and the exit point are unchanged — at worst up to
+    /// three trees past the exit get evaluated and discarded, which is
+    /// cheaper than forgoing the instruction-level parallelism.
+    #[inline]
+    pub fn predict_row(&self, member: usize, row: &[f64]) -> u8 {
+        match &self.members[member] {
+            FlatMember::Tree { root } => u8::from(self.arena.eval(*root, row) >= 0.5),
+            FlatMember::Boost { stages, depths, suffix, stumps } => {
+                let guard = suffix[0] * 1e-9;
+                let mut margin = 0.0f64;
+                let mut total_alpha = 0.0f64;
+                if let Some(slab) = stumps {
+                    // All-stump member: each stage is one comparison and
+                    // one pre-signed add over dense slabs. The margin,
+                    // total-weight, and early-exit sequences are exactly
+                    // those of the generic path below (`salpha` holds
+                    // the same `alpha * vote` bits), so the label is
+                    // identical — just without any node loads.
+                    for (i, &(_, alpha)) in stages.iter().enumerate() {
+                        let side =
+                            usize::from(!(row[slab.feats[i] as usize] <= slab.thrs[i]));
+                        margin += slab.salpha[i][side];
+                        total_alpha += alpha;
+                        if margin.abs() > suffix[i + 1] + guard {
+                            return u8::from(margin >= 0.0);
+                        }
+                    }
+                    if total_alpha <= 0.0 {
+                        return 1; // proba 0.5 >= 0.5
+                    }
+                    return u8::from(0.5 * (margin / total_alpha + 1.0) >= 0.5);
+                }
+                let mut i = 0;
+                while i + 4 <= stages.len() {
+                    let roots =
+                        [stages[i].0, stages[i + 1].0, stages[i + 2].0, stages[i + 3].0];
+                    let depth = depths[i]
+                        .max(depths[i + 1])
+                        .max(depths[i + 2])
+                        .max(depths[i + 3]);
+                    let probas = self.arena.eval4_trees(roots, depth, row);
+                    for (lane, proba) in probas.into_iter().enumerate() {
+                        let alpha = stages[i + lane].1;
+                        let vote = if proba >= 0.5 { 1.0 } else { -1.0 };
+                        margin += alpha * vote;
+                        total_alpha += alpha;
+                        if margin.abs() > suffix[i + lane + 1] + guard {
+                            return u8::from(margin >= 0.0);
+                        }
+                    }
+                    i += 4;
+                }
+                for (k, &(root, alpha)) in stages[i..].iter().enumerate() {
+                    let vote = if self.arena.eval(root, row) >= 0.5 { 1.0 } else { -1.0 };
+                    margin += alpha * vote;
+                    total_alpha += alpha;
+                    if margin.abs() > suffix[i + k + 1] + guard {
+                        return u8::from(margin >= 0.0);
+                    }
+                }
+                // Same final expression as interpreted, on the same
+                // accumulator bits.
+                if total_alpha <= 0.0 {
+                    return 1; // proba 0.5 >= 0.5
+                }
+                u8::from(0.5 * (margin / total_alpha + 1.0) >= 0.5)
+            }
+            FlatMember::Forest { roots, depths } => {
+                let n = roots.len();
+                let mut votes = 0usize;
+                let mut done = 0;
+                while done + 4 <= n {
+                    let group =
+                        [roots[done], roots[done + 1], roots[done + 2], roots[done + 3]];
+                    let depth = depths[done]
+                        .max(depths[done + 1])
+                        .max(depths[done + 2])
+                        .max(depths[done + 3]);
+                    let probas = self.arena.eval4_trees(group, depth, row);
+                    for (lane, proba) in probas.into_iter().enumerate() {
+                        votes += usize::from(proba >= 0.5);
+                        let remaining = n - (done + lane) - 1;
+                        if 2 * votes >= n || 2 * (votes + remaining) < n {
+                            return u8::from(2 * votes >= n);
+                        }
+                    }
+                    done += 4;
+                }
+                for (k, &root) in roots[done..].iter().enumerate() {
+                    votes += usize::from(self.arena.eval(root, row) >= 0.5);
+                    let remaining = n - (done + k) - 1;
+                    if 2 * votes >= n || 2 * (votes + remaining) < n {
+                        break;
+                    }
+                }
+                u8::from(2 * votes >= n)
+            }
+            _ => u8::from(self.predict_proba_row(member, row) >= 0.5),
+        }
+    }
+
+    /// Hard 0/1 predictions for one bucket of rows served by the same
+    /// member: `out[k]` is the prediction for `rows[idxs[k]]`.
+    ///
+    /// Large ensembles (node footprint over [`STAGE_MAJOR_MIN_NODES`])
+    /// evaluate **stage-major**: each stage's tree walks every
+    /// still-undecided row before the next stage starts, so one small
+    /// tree stays cache-hot across the whole bucket instead of the whole
+    /// ensemble being re-streamed per row — and within a stage the tree
+    /// walks **four rows in lockstep** ([`NodeArena::eval4_rows`]), four
+    /// independent load chains hiding each other's L1 latency. Small
+    /// members run row-major instead (the whole member is already
+    /// cache-resident; see [`STAGE_MAJOR_MIN_NODES`]). Per row, the
+    /// accumulator sequence and early-exit points are exactly those of
+    /// [`Self::predict_row`] (stage order is preserved; decided rows
+    /// merely stop participating), so the labels are identical either
+    /// way.
+    pub fn predict_bucket(&self, member: usize, rows: &[&[f64]], idxs: &[u32]) -> Vec<u8> {
+        if self.footprints[member] < STAGE_MAJOR_MIN_NODES {
+            return idxs.iter().map(|&i| self.predict_row(member, rows[i as usize])).collect();
+        }
+        match &self.members[member] {
+            FlatMember::Boost { stages, depths, suffix, .. } => {
+                let guard = suffix[0] * 1e-9;
+                let n = idxs.len();
+                let mut out = vec![0u8; n];
+                let mut margin = vec![0.0f64; n];
+                let mut active: Vec<u32> = (0..n as u32).collect();
+                let mut probas = vec![0.0f64; n];
+                let mut total_alpha = 0.0f64;
+                let mut all_stages_applied = true;
+                for (i, &(root, alpha)) in stages.iter().enumerate() {
+                    if active.is_empty() {
+                        all_stages_applied = false;
+                        break;
+                    }
+                    let bound = suffix[i + 1] + guard;
+                    self.eval_active(root, depths[i], rows, idxs, &active, &mut probas);
+                    // Second pass: fold the stage's votes in and compact
+                    // the active list in place, preserving row order.
+                    let mut kept = 0;
+                    for q in 0..active.len() {
+                        let j = active[q];
+                        let vote = if probas[q] >= 0.5 { 1.0 } else { -1.0 };
+                        let m = margin[j as usize] + alpha * vote;
+                        margin[j as usize] = m;
+                        if m.abs() > bound {
+                            out[j as usize] = u8::from(m >= 0.0);
+                        } else {
+                            active[kept] = j;
+                            kept += 1;
+                        }
+                    }
+                    active.truncate(kept);
+                    total_alpha += alpha;
+                }
+                // Rows that never cleared the guard saw every stage; give
+                // them the interpreted proba expression verbatim.
+                debug_assert!(active.is_empty() || all_stages_applied);
+                for &j in &active {
+                    out[j as usize] = if total_alpha <= 0.0 {
+                        1 // proba 0.5 >= 0.5
+                    } else {
+                        u8::from(0.5 * (margin[j as usize] / total_alpha + 1.0) >= 0.5)
+                    };
+                }
+                out
+            }
+            FlatMember::Forest { roots, depths } => {
+                let n_trees = roots.len();
+                let n = idxs.len();
+                let mut votes = vec![0usize; n];
+                let mut active: Vec<u32> = (0..n as u32).collect();
+                let mut probas = vec![0.0f64; n];
+                let mut out = vec![0u8; n];
+                for (done, &root) in roots.iter().enumerate() {
+                    if active.is_empty() {
+                        break;
+                    }
+                    let remaining = n_trees - done - 1;
+                    self.eval_active(root, depths[done], rows, idxs, &active, &mut probas);
+                    let mut kept = 0;
+                    for q in 0..active.len() {
+                        let j = active[q];
+                        let v = votes[j as usize] + usize::from(probas[q] >= 0.5);
+                        votes[j as usize] = v;
+                        if 2 * v >= n_trees || 2 * (v + remaining) < n_trees {
+                            out[j as usize] = u8::from(2 * v >= n_trees);
+                        } else {
+                            active[kept] = j;
+                            kept += 1;
+                        }
+                    }
+                    active.truncate(kept);
+                }
+                // The last tree always decides (`remaining == 0` makes one
+                // of the two conditions true), so no row is left over.
+                out
+            }
+            _ => idxs.iter().map(|&i| self.predict_row(member, rows[i as usize])).collect(),
+        }
+    }
+
+    /// Evaluates one tree on every active row, four rows in lockstep,
+    /// writing `probas[q]` for `active[q]` (scalar tail for the last
+    /// `< 4` rows). Each row's probability is bit-identical to
+    /// [`NodeArena::eval`] on that row.
+    #[inline]
+    fn eval_active(
+        &self,
+        root: u32,
+        depth: u32,
+        rows: &[&[f64]],
+        idxs: &[u32],
+        active: &[u32],
+        probas: &mut [f64],
+    ) {
+        let row_of = |j: u32| rows[idxs[j as usize] as usize];
+        let mut q = 0;
+        while q + 16 <= active.len() {
+            let wide = std::array::from_fn(|l| row_of(active[q + l]));
+            probas[q..q + 16]
+                .copy_from_slice(&self.arena.eval_wide_rows::<16>(root, depth, wide));
+            q += 16;
+        }
+        if q + 8 <= active.len() {
+            let wide = std::array::from_fn(|l| row_of(active[q + l]));
+            probas[q..q + 8]
+                .copy_from_slice(&self.arena.eval_wide_rows::<8>(root, depth, wide));
+            q += 8;
+        }
+        if q + 4 <= active.len() {
+            let wide = std::array::from_fn(|l| row_of(active[q + l]));
+            probas[q..q + 4].copy_from_slice(&self.arena.eval4_rows(root, depth, wide));
+            q += 4;
+        }
+        for (p, &j) in probas[q..active.len()].iter_mut().zip(&active[q..]) {
+            *p = self.arena.eval(root, row_of(j));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bayes::GaussianNb;
+    use crate::boost::{AdaBoost, AdaBoostParams};
+    use crate::forest::{RandomForest, RandomForestParams};
+    use crate::knn_model::KnnClassifier;
+    use crate::linear::{LogisticParams, LogisticRegression};
+    use crate::tree::{SplitCriterion, TreeParams};
+    use falcc_dataset::{Dataset, Schema};
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    fn blobs(n: usize, d: usize, seed: u64) -> Dataset {
+        let schema = Schema::new(
+            (0..d).map(|j| format!("x{j}")).collect(),
+            vec![],
+            "y",
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let c = i % 2;
+            let centre = if c == 0 { -1.0 } else { 1.0 };
+            rows.push((0..d).map(|_| centre + rng.gen_range(-2.0..2.0)).collect());
+            labels.push(c as u8);
+        }
+        Dataset::from_rows(schema, rows, labels).unwrap()
+    }
+
+    fn all_models(ds: &Dataset) -> Vec<Arc<dyn Classifier>> {
+        let attrs: Vec<usize> = (0..ds.n_attrs()).collect();
+        let idx: Vec<usize> = (0..ds.len()).collect();
+        let tree_params = TreeParams {
+            max_depth: 5,
+            min_samples_leaf: 2,
+            criterion: SplitCriterion::Gini,
+            max_features: None,
+        };
+        let boost_tree = TreeParams { max_depth: 3, ..tree_params };
+        let forest_tree = TreeParams { max_depth: 4, max_features: Some(2), ..tree_params };
+        vec![
+            Arc::new(DecisionTree::fit(ds, &attrs, &idx, None, &tree_params, 7)),
+            Arc::new(AdaBoost::fit(
+                ds,
+                &attrs,
+                &idx,
+                None,
+                &AdaBoostParams { n_estimators: 12, tree: boost_tree },
+                3,
+            )),
+            Arc::new(RandomForest::fit(
+                ds,
+                &attrs,
+                &idx,
+                &RandomForestParams {
+                    n_estimators: 9,
+                    tree: forest_tree,
+                    sample_fraction: 0.8,
+                },
+                5,
+            )),
+            Arc::new(LogisticRegression::fit(ds, &attrs, &idx, &LogisticParams::default())),
+            Arc::new(GaussianNb::fit(ds, &attrs, &idx)),
+            Arc::new(KnnClassifier::fit(ds, &attrs, &idx, 5)),
+        ]
+    }
+
+    #[test]
+    fn every_member_kind_is_bit_identical_to_interpreted() {
+        let ds = blobs(300, 3, 11);
+        let models = all_models(&ds);
+        let flat = FlatPool::compile(&models);
+        assert_eq!(flat.len(), models.len());
+        assert!(flat.n_nodes() > 0);
+
+        let mut rng = StdRng::seed_from_u64(99);
+        for trial in 0..200 {
+            let row: Vec<f64> = if trial < 100 {
+                ds.row(trial % ds.len()).to_vec()
+            } else {
+                (0..ds.n_attrs()).map(|_| rng.gen_range(-5.0..5.0)).collect()
+            };
+            for (i, model) in models.iter().enumerate() {
+                let interp = model.predict_proba_row(&row);
+                let compiled = flat.predict_proba_row(i, &row);
+                assert_eq!(
+                    interp.to_bits(),
+                    compiled.to_bits(),
+                    "member {i} ({}) diverged on trial {trial}: {interp} vs {compiled}",
+                    model.name(),
+                );
+                assert_eq!(model.predict_row(&row), flat.predict_row(i, &row));
+            }
+        }
+    }
+
+    #[test]
+    fn ensembles_share_one_arena() {
+        let ds = blobs(200, 2, 4);
+        let models = all_models(&ds);
+        let flat = FlatPool::compile(&models);
+        // Arena holds the single tree + all boost stages + all forest
+        // trees in one slab.
+        assert!(flat.n_nodes() >= 1 + 12 + 9);
+        assert_eq!(flat.arena.len(), flat.arena.nodes.len());
+    }
+
+    #[test]
+    fn empty_pool_compiles_to_empty() {
+        let flat = FlatPool::compile(&[]);
+        assert!(flat.is_empty());
+        assert!(flat.arena.is_empty());
+        assert_eq!(flat.len(), 0);
+    }
+}

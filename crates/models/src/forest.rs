@@ -82,6 +82,12 @@ impl RandomForest {
     pub fn n_trees(&self) -> usize {
         self.trees.len()
     }
+
+    /// The fitted trees in training order, for compilation into flat form
+    /// (see [`crate::flat`]).
+    pub(crate) fn trees(&self) -> &[DecisionTree] {
+        &self.trees
+    }
 }
 
 impl Classifier for RandomForest {

@@ -28,6 +28,7 @@
 
 pub mod bayes;
 pub mod boost;
+pub mod flat;
 pub mod forest;
 pub mod grid;
 pub mod knn_model;
@@ -39,6 +40,7 @@ pub mod traits;
 pub mod tree;
 
 pub use boost::{AdaBoost, AdaBoostParams};
+pub use flat::{FlatPool, NodeArena};
 pub use forest::{RandomForest, RandomForestParams};
 pub use grid::{GridPoint, TrainerKind, PAPER_GRID};
 pub use parallel::{derive_seed, parallel_map, parallel_map_range, resolve_threads};

@@ -123,6 +123,12 @@ impl LogisticRegression {
     pub fn coefficients(&self) -> (&[f64], f64) {
         (&self.weights, self.bias)
     }
+
+    /// `(attrs, weights, means, stds, bias)` for compilation into flat
+    /// form (see [`crate::flat`]).
+    pub(crate) fn flat_parts(&self) -> (&[AttrId], &[f64], &[f64], &[f64], f64) {
+        (&self.attrs, &self.weights, &self.means, &self.stds, self.bias)
+    }
 }
 
 #[inline]

@@ -88,7 +88,7 @@ impl Default for TreeParams {
 }
 
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
-enum Node {
+pub(crate) enum Node {
     Leaf { proba: f64 },
     Split { attr: AttrId, threshold: f64, left: u32, right: u32 },
 }
@@ -174,6 +174,12 @@ impl DecisionTree {
     /// Number of nodes (diagnostics).
     pub fn n_nodes(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// The node slab, for compilation into [`crate::flat::NodeArena`]
+    /// form (children precede parents; the root is the last node).
+    pub(crate) fn nodes(&self) -> &[Node] {
+        &self.nodes
     }
 
     /// Depth of the tree (diagnostics; 0 = single leaf).

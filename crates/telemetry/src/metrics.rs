@@ -303,6 +303,12 @@ pub mod counters {
     /// Empty clusters re-seeded from the farthest point during Lloyd
     /// iterations (the degenerate-cluster collapse fix).
     pub static KMEANS_EMPTY_RESEEDS: Counter = Counter::new("clustering.empty_reseeds");
+    /// Nanoseconds spent lowering fitted models into the compiled serving
+    /// plane (flat SoA artifacts), accumulated across `compile()` calls.
+    pub static SERVE_COMPILE_NS: Counter = Counter::new("serve.compile_ns");
+    /// Rows dispatched through per-model buckets by the compiled batch
+    /// path.
+    pub static SERVE_BUCKET_ROWS: Counter = Counter::new("serve.bucket_rows");
 }
 
 /// Well-known gauges.
@@ -316,6 +322,10 @@ pub mod gauges {
     pub static OFFLINE_POOL_SIZE: Gauge = Gauge::new("offline.pool_size");
     /// Candidate model combinations assessed per cluster.
     pub static OFFLINE_COMBINATIONS: Gauge = Gauge::new("offline.combinations");
+    /// Distinct compiled models in the most recent `compile()` — the
+    /// deduplicated reach of the region→group dispatch table (≤ pool
+    /// size × groups).
+    pub static SERVE_DEDUP_MODELS: Gauge = Gauge::new("serve.dedup_models");
 }
 
 /// Well-known histograms.
