@@ -285,14 +285,26 @@ fn overhead_report(opts: &Opts) {
         format!("{:.1}", report.enabled_ms),
         format!("{:+.2}%", report.enabled_overhead_pct),
     ]);
+    table.push(vec![
+        "monitored".into(),
+        format!("{:.1}", report.monitor_ms),
+        format!("{:+.2}%", report.monitor_overhead_pct),
+    ]);
     print!("{}", table.render());
     println!(
-        "disabled hot path: {:.1} ns/counter update, {:.1} ns/span guard \
+        "disabled hot path: {:.1} ns/counter update, {:.1} ns/span guard, \
+         {:.1} ns/uninstalled monitor probe \
          ({} spans recorded when enabled; predictions identical: {})",
         report.disabled_counter_ns,
         report.disabled_span_ns,
+        report.disabled_monitor_ns,
         report.spans_recorded,
         report.predictions_identical,
+    );
+    println!(
+        "live monitors: {} window(s) retained; predictions identical with \
+         monitors installed: {}",
+        report.monitor_windows_recorded, report.monitor_predictions_identical,
     );
 
     let json = serde_json::to_string(&report).expect("serialise report");
@@ -300,14 +312,19 @@ fn overhead_report(opts: &Opts) {
     falcc_telemetry::progress("wrote BENCH_telemetry.json");
 
     assert!(report.predictions_identical, "telemetry perturbed predictions");
+    assert!(report.monitor_predictions_identical, "live monitors perturbed predictions");
     if opts.smoke {
         // The end-to-end percentage is too noisy to gate CI at smoke
         // scale; the disabled-path cost is the stable regression signal.
         let bound = falcc_bench::overhead::DISABLED_PATH_MAX_NS;
-        if report.disabled_counter_ns > bound || report.disabled_span_ns > bound {
+        if report.disabled_counter_ns > bound
+            || report.disabled_span_ns > bound
+            || report.disabled_monitor_ns > bound
+        {
             eprintln!(
-                "disabled-path overhead regressed: counter {:.1} ns, span {:.1} ns (bound {bound} ns)",
-                report.disabled_counter_ns, report.disabled_span_ns
+                "disabled-path overhead regressed: counter {:.1} ns, span {:.1} ns, \
+                 monitor probe {:.1} ns (bound {bound} ns)",
+                report.disabled_counter_ns, report.disabled_span_ns, report.disabled_monitor_ns
             );
             std::process::exit(1);
         }

@@ -50,7 +50,11 @@ fn main() {
     opts.finish_telemetry();
 
     if !report.equivalent {
-        eprintln!("compiled serving plane diverged from the interpreted online phase");
+        // Routed through `progress` so `--quiet` silences it like every
+        // other status line; the non-zero exit still fails the run.
+        falcc_telemetry::progress(
+            "compiled serving plane diverged from the interpreted online phase",
+        );
         std::process::exit(1);
     }
 }

@@ -43,6 +43,17 @@ pub struct TelemetryOverheadReport {
     pub disabled_counter_ns: f64,
     /// Disabled-path cost of one span open + drop (ns).
     pub disabled_span_ns: f64,
+    /// Uninstalled-path cost of one live-monitor batch attempt (ns).
+    pub disabled_monitor_ns: f64,
+    /// Median end-to-end wall-clock with live monitors installed (ms);
+    /// telemetry recording stays off so the delta isolates monitor cost.
+    pub monitor_ms: f64,
+    /// `(monitor - disabled) / disabled`, percent.
+    pub monitor_overhead_pct: f64,
+    /// Windows the monitored run retained at snapshot time.
+    pub monitor_windows_recorded: usize,
+    /// Whether predictions were bit-identical with monitors on and off.
+    pub monitor_predictions_identical: bool,
     /// Spans recorded by one enabled end-to-end run.
     pub spans_recorded: usize,
     /// Whether predictions were bit-identical with telemetry on and off.
@@ -53,7 +64,12 @@ pub struct TelemetryOverheadReport {
 /// single-digit cost so shared runners do not flake.
 pub const DISABLED_PATH_MAX_NS: f64 = 50.0;
 
-fn end_to_end_ms(dataset: BenchDataset, scale: f64, seed: u64) -> (f64, Vec<u8>) {
+fn end_to_end_ms(
+    dataset: BenchDataset,
+    scale: f64,
+    seed: u64,
+    monitored: bool,
+) -> (f64, Vec<u8>, usize) {
     let ds = dataset.generate(seed, scale);
     let split = ThreeWaySplit::split(&ds, SplitRatios::PAPER, seed).expect("split");
     let mut cfg = FalccConfig {
@@ -65,8 +81,19 @@ fn end_to_end_ms(dataset: BenchDataset, scale: f64, seed: u64) -> (f64, Vec<u8>)
     cfg.pool.seed = seed;
     let start = Instant::now();
     let model = FalccModel::fit(&split.train, &split.validation, &cfg).expect("fit");
+    let state = monitored.then(|| {
+        falcc_telemetry::monitor::install(model.monitor_spec(
+            falcc::baseline::DEFAULT_WINDOW_LEN,
+            falcc::baseline::DEFAULT_WINDOWS,
+        ))
+    });
     let preds = model.predict_dataset(&split.test);
-    (start.elapsed().as_secs_f64() * 1_000.0, preds)
+    let ms = start.elapsed().as_secs_f64() * 1_000.0;
+    let windows = state.map_or(0, |state| {
+        falcc_telemetry::monitor::uninstall();
+        state.snapshot().windows.len()
+    });
+    (ms, preds, windows)
 }
 
 fn median(mut xs: Vec<f64>) -> f64 {
@@ -96,6 +123,27 @@ pub fn disabled_path_ns() -> (f64, f64) {
     (counter_ns, span_ns)
 }
 
+/// Per-operation cost of the uninstalled live-monitor hot path, in
+/// nanoseconds: one `monitor::batch` attempt — an acquire load of the
+/// active pointer plus a null check.
+///
+/// # Panics
+/// Panics when a monitor is installed — the point is the uninstalled
+/// path.
+pub fn disabled_monitor_ns() -> f64 {
+    assert!(
+        !falcc_telemetry::monitor::active(),
+        "uninstalled-path probe needs monitors off"
+    );
+    const N: u64 = 4_000_000;
+    let start = Instant::now();
+    for i in 0..N {
+        let rec = falcc_telemetry::monitor::batch(std::hint::black_box(i as usize) & 1);
+        std::hint::black_box(rec.is_none());
+    }
+    start.elapsed().as_nanos() as f64 / N as f64
+}
+
 /// Measures enabled-vs-disabled overhead of the end-to-end pipeline on the
 /// emulated Adult (sex) dataset. Leaves telemetry disabled and reset.
 ///
@@ -113,12 +161,28 @@ pub fn measure_overhead(scale: f64, seed: u64, reps: usize) -> TelemetryOverhead
 
     falcc_telemetry::disable();
     falcc_telemetry::reset();
+    falcc_telemetry::monitor::uninstall();
     let (counter_ns, span_ns) = disabled_path_ns();
+    let monitor_ns = disabled_monitor_ns();
     // Interleaving the two states would be fairer to slow CPU-frequency
     // drift, but a warm-up pass plus medians is enough at this scale.
-    let (_warmup, preds_off) = end_to_end_ms(dataset, scale, seed);
+    let (_warmup, preds_off, _) = end_to_end_ms(dataset, scale, seed, false);
     let disabled: Vec<f64> =
-        (0..reps).map(|_| end_to_end_ms(dataset, scale, seed).0).collect();
+        (0..reps).map(|_| end_to_end_ms(dataset, scale, seed, false).0).collect();
+
+    // Monitored runs: telemetry recording stays off, only the live
+    // monitors are installed — the delta against `disabled` isolates
+    // what the windowed aggregation costs the serving path.
+    let mut monitor_windows = 0;
+    let mut preds_monitored = Vec::new();
+    let monitored: Vec<f64> = (0..reps)
+        .map(|_| {
+            let (ms, preds, windows) = end_to_end_ms(dataset, scale, seed, true);
+            monitor_windows = windows;
+            preds_monitored = preds;
+            ms
+        })
+        .collect();
 
     falcc_telemetry::enable();
     let mut spans_recorded = 0;
@@ -126,7 +190,7 @@ pub fn measure_overhead(scale: f64, seed: u64, reps: usize) -> TelemetryOverhead
     let enabled: Vec<f64> = (0..reps)
         .map(|_| {
             falcc_telemetry::reset();
-            let (ms, preds) = end_to_end_ms(dataset, scale, seed);
+            let (ms, preds, _) = end_to_end_ms(dataset, scale, seed, false);
             spans_recorded = falcc_telemetry::snapshot().spans.len();
             preds_on = preds;
             ms
@@ -137,6 +201,7 @@ pub fn measure_overhead(scale: f64, seed: u64, reps: usize) -> TelemetryOverhead
 
     let disabled_ms = median(disabled);
     let enabled_ms = median(enabled);
+    let monitor_ms = median(monitored);
     TelemetryOverheadReport {
         scale,
         seed,
@@ -147,6 +212,11 @@ pub fn measure_overhead(scale: f64, seed: u64, reps: usize) -> TelemetryOverhead
         enabled_overhead_pct: (enabled_ms - disabled_ms) / disabled_ms * 100.0,
         disabled_counter_ns: counter_ns,
         disabled_span_ns: span_ns,
+        disabled_monitor_ns: monitor_ns,
+        monitor_ms,
+        monitor_overhead_pct: (monitor_ms - disabled_ms) / disabled_ms * 100.0,
+        monitor_windows_recorded: monitor_windows,
+        monitor_predictions_identical: preds_off == preds_monitored,
         spans_recorded,
         predictions_identical: preds_off == preds_on,
     }
@@ -163,10 +233,18 @@ mod tests {
         assert!(report.enabled_ms > 0.0);
         assert!(report.spans_recorded > 0, "enabled run must record spans");
         assert!(report.predictions_identical, "telemetry changed predictions");
+        assert!(
+            report.monitor_predictions_identical,
+            "live monitors changed predictions"
+        );
+        assert!(report.monitor_windows_recorded > 0, "monitored run must fill windows");
+        assert!(report.monitor_ms > 0.0);
         assert!(report.disabled_counter_ns < DISABLED_PATH_MAX_NS);
         assert!(report.disabled_span_ns < DISABLED_PATH_MAX_NS);
+        assert!(report.disabled_monitor_ns < DISABLED_PATH_MAX_NS);
         // Telemetry left off and clean for other tests.
         assert!(!falcc_telemetry::enabled());
         assert!(falcc_telemetry::snapshot().spans.is_empty());
+        assert!(!falcc_telemetry::monitor::active());
     }
 }

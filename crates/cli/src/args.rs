@@ -22,6 +22,9 @@ pub enum Command {
     /// Self-contained end-to-end demo on synthetic data (fit + classify),
     /// mainly useful with `--profile`/`--trace-out`.
     Run(RunArgs),
+    /// Render a live-monitor stream (`falcc run --monitor-out …`) as a
+    /// per-region drift & fairness report with threshold WARN lines.
+    Monitor(MonitorArgs),
     /// Print usage.
     Help,
 }
@@ -86,6 +89,27 @@ pub struct RunArgs {
     /// Serve the test split through the interpreted online phase instead
     /// of the compiled plane (escape hatch; results are bit-identical).
     pub no_compile: bool,
+    /// Install the live serving monitors around the classification pass
+    /// and write the windowed monitor stream (JSONL) to this path.
+    pub monitor_out: Option<String>,
+}
+
+/// `falcc monitor` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorArgs {
+    /// Path to a windowed monitor stream (JSONL), as written by
+    /// `falcc run --monitor-out`.
+    pub input: String,
+    /// WARN when a window/region demographic-parity gap exceeds this.
+    pub warn_dp: f64,
+    /// WARN when a window's occupancy skew score exceeds this.
+    pub warn_skew: f64,
+    /// WARN when a region's group-mix shift exceeds this.
+    pub warn_shift: f64,
+    /// WARN when a window's rejection rate exceeds this.
+    pub warn_reject: f64,
+    /// Print Prometheus-style text exposition instead of the report.
+    pub exposition: bool,
 }
 
 /// `falcc train` options.
@@ -159,6 +183,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
         "train" => parse_train(&argv[1..]),
         "predict" => parse_predict(&argv[1..]),
         "run" => parse_run(&argv[1..]),
+        "monitor" => parse_monitor(&argv[1..]),
         "audit" => parse_model_data(&argv[1..]).map(Command::Audit),
         "info" => {
             let mut model = None;
@@ -273,6 +298,7 @@ fn parse_run(args: &[String]) -> Result<Command, CliError> {
         threads: 0,
         faults: FaultPlan::default(),
         no_compile: false,
+        monitor_out: None,
     };
     let mut cur = Cursor { args, at: 0 };
     while cur.at < cur.args.len() {
@@ -286,6 +312,9 @@ fn parse_run(args: &[String]) -> Result<Command, CliError> {
             }
             "--inject" => out.faults = parse_inject(cur.next_value("--inject")?)?,
             "--no-compile" => out.no_compile = true,
+            "--monitor-out" => {
+                out.monitor_out = Some(cur.next_value("--monitor-out")?.to_string())
+            }
             other => return Err(CliError::usage(format!("unknown flag {other}"))),
         }
     }
@@ -293,6 +322,42 @@ fn parse_run(args: &[String]) -> Result<Command, CliError> {
         return Err(CliError::usage("--scale must be in (0, 1]"));
     }
     Ok(Command::Run(out))
+}
+
+fn parse_monitor(args: &[String]) -> Result<Command, CliError> {
+    let mut out = MonitorArgs {
+        input: String::new(),
+        warn_dp: 0.10,
+        warn_skew: 0.50,
+        warn_shift: 0.25,
+        warn_reject: 0.05,
+        exposition: false,
+    };
+    let mut cur = Cursor { args, at: 0 };
+    while cur.at < cur.args.len() {
+        let flag = cur.args[cur.at].clone();
+        cur.at += 1;
+        match flag.as_str() {
+            "--input" => out.input = cur.next_value("--input")?.to_string(),
+            "--warn-dp" => out.warn_dp = parse_num(cur.next_value("--warn-dp")?, "--warn-dp")?,
+            "--warn-skew" => {
+                out.warn_skew = parse_num(cur.next_value("--warn-skew")?, "--warn-skew")?
+            }
+            "--warn-shift" => {
+                out.warn_shift = parse_num(cur.next_value("--warn-shift")?, "--warn-shift")?
+            }
+            "--warn-reject" => {
+                out.warn_reject =
+                    parse_num(cur.next_value("--warn-reject")?, "--warn-reject")?
+            }
+            "--exposition" => out.exposition = true,
+            other => return Err(CliError::usage(format!("unknown flag {other}"))),
+        }
+    }
+    if out.input.is_empty() {
+        return Err(CliError::usage("monitor requires --input"));
+    }
+    Ok(Command::Monitor(out))
 }
 
 /// Parses an `--inject` fault schedule: comma-separated
@@ -495,6 +560,7 @@ mod tests {
                 threads: 0,
                 faults: FaultPlan::default(),
                 no_compile: false,
+                monitor_out: None,
             })
         );
         let cmd = parse(&v(&[
@@ -509,10 +575,59 @@ mod tests {
                 threads: 2,
                 faults: FaultPlan::default(),
                 no_compile: true,
+                monitor_out: None,
             })
         );
         assert_eq!(parse(&v(&["run", "--scale", "0"])).unwrap_err().exit_code, 2);
         assert_eq!(parse(&v(&["run", "--scale", "1.5"])).unwrap_err().exit_code, 2);
+    }
+
+    #[test]
+    fn monitor_flags_parse() {
+        let cmd = parse(&v(&["run", "--monitor-out", "m.jsonl"])).unwrap();
+        match cmd {
+            Command::Run(args) => assert_eq!(args.monitor_out.as_deref(), Some("m.jsonl")),
+            other => panic!("unexpected command {other:?}"),
+        }
+        let cmd = parse(&v(&["monitor", "--input", "m.jsonl"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Monitor(MonitorArgs {
+                input: "m.jsonl".into(),
+                warn_dp: 0.10,
+                warn_skew: 0.50,
+                warn_shift: 0.25,
+                warn_reject: 0.05,
+                exposition: false,
+            })
+        );
+        let cmd = parse(&v(&[
+            "monitor",
+            "--input",
+            "m.jsonl",
+            "--warn-dp",
+            "0.2",
+            "--warn-skew",
+            "1.0",
+            "--warn-shift",
+            "0.4",
+            "--warn-reject",
+            "0.01",
+            "--exposition",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Monitor(MonitorArgs {
+                input: "m.jsonl".into(),
+                warn_dp: 0.2,
+                warn_skew: 1.0,
+                warn_shift: 0.4,
+                warn_reject: 0.01,
+                exposition: true,
+            })
+        );
+        assert_eq!(parse(&v(&["monitor"])).unwrap_err().exit_code, 2);
     }
 
     #[test]

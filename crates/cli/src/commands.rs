@@ -1,7 +1,7 @@
 //! Implementation of the CLI subcommands. Each returns its stdout text so
 //! the whole flow is unit-testable in-process.
 
-use crate::args::{Command, ModelDataArgs, PredictArgs, RunArgs, TrainArgs};
+use crate::args::{Command, ModelDataArgs, MonitorArgs, PredictArgs, RunArgs, TrainArgs};
 use crate::{CliError, USAGE};
 use falcc::{
     auto_tune, FairClassifier, FalccConfig, FalccModel, SavedFalccModel,
@@ -23,6 +23,7 @@ pub fn execute(command: Command) -> Result<String, CliError> {
         Command::Audit(args) => audit(args),
         Command::Info { model } => info(&model),
         Command::Run(args) => run_demo(args),
+        Command::Monitor(args) => monitor_report(&args),
     }
 }
 
@@ -59,6 +60,21 @@ fn run_demo(args: RunArgs) -> Result<String, CliError> {
     });
     let model = FalccModel::fit(&split.train, &split.validation, &config)
         .map_err(|e| CliError::runtime(format!("fitting FALCC: {e}")))?;
+    // Live monitors observe the classification pass without perturbing
+    // it: they write to stderr and the stream file only, so stdout is
+    // byte-identical with monitors on or off.
+    let monitor = args.monitor_out.as_ref().map(|path| {
+        falcc_telemetry::progress(format!(
+            "live monitors armed: ring of {} windows × {} rows",
+            falcc::baseline::DEFAULT_WINDOWS,
+            falcc::baseline::DEFAULT_WINDOW_LEN,
+        ));
+        let spec = model.monitor_spec(
+            falcc::baseline::DEFAULT_WINDOW_LEN,
+            falcc::baseline::DEFAULT_WINDOWS,
+        );
+        (path.clone(), falcc_telemetry::monitor::install(spec))
+    });
     // The compiled serving plane is the default; --no-compile falls back
     // to the interpreted online phase (bit-identical either way).
     let preds = if args.no_compile {
@@ -68,6 +84,14 @@ fn run_demo(args: RunArgs) -> Result<String, CliError> {
         falcc_telemetry::progress("classifying test split (compiled serving plane)");
         model.compile().predict_dataset(&split.test)
     };
+    if let Some((path, state)) = monitor {
+        falcc_telemetry::monitor::uninstall();
+        state
+            .snapshot()
+            .write_jsonl(std::path::Path::new(&path))
+            .map_err(|e| CliError::runtime(format!("writing monitor stream {path}: {e}")))?;
+        falcc_telemetry::progress(format!("monitor stream written to {path}"));
+    }
 
     let y = split.test.labels();
     let g = split.test.groups();
@@ -110,6 +134,267 @@ fn run_demo(args: RunArgs) -> Result<String, CliError> {
         }
     }
     Ok(out)
+}
+
+/// `falcc monitor`: renders a windowed monitor stream (JSONL written by
+/// `falcc run --monitor-out`) as a per-window, per-region drift and
+/// fairness report with threshold WARN lines, or as Prometheus-style
+/// text exposition with `--exposition`.
+fn monitor_report(args: &MonitorArgs) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(&args.input)
+        .map_err(|e| CliError::runtime(format!("reading {}: {e}", args.input)))?;
+    let snap = parse_monitor_stream(&text)
+        .map_err(|e| CliError::runtime(format!("parsing {}: {e}", args.input)))?;
+    if args.exposition {
+        return Ok(snap.render_exposition());
+    }
+
+    let spec = &snap.spec;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "monitor stream: {} row(s) observed, {} retained window(s) of {} rows \
+         ({} regions × {} groups)",
+        snap.rows_seen,
+        snap.windows.len(),
+        spec.window_len,
+        spec.n_regions,
+        spec.n_groups
+    );
+    let mut warns = 0usize;
+    for w in &snap.windows {
+        let start = w.id * spec.window_len;
+        let skew = w.occupancy_skew(spec);
+        let _ = writeln!(
+            out,
+            "\nwindow {} [rows {}..{}): observed {}, rejected {}, occupancy skew {:.4}",
+            w.id,
+            start,
+            start + spec.window_len,
+            w.observed,
+            w.rejected,
+            skew
+        );
+        let _ = writeln!(
+            out,
+            "  {:<8} {:>6} {:>8} {:>8} {:>7} {:>9} {:>9}",
+            "region", "rows", "dp gap", "base dp", "shift", "dist p50", "dist p90"
+        );
+        let reject_rate =
+            if w.observed > 0 { w.rejected as f64 / w.observed as f64 } else { 0.0 };
+        if reject_rate > args.warn_reject {
+            let _ = writeln!(
+                out,
+                "  WARN window {}: rejection rate {:.2}% exceeds {:.2}%",
+                w.id,
+                reject_rate * 100.0,
+                args.warn_reject * 100.0
+            );
+            warns += 1;
+        }
+        if skew > args.warn_skew {
+            let _ = writeln!(
+                out,
+                "  WARN window {}: occupancy skew {:.4} exceeds {:.4} — serving \
+                 traffic has drifted from the validation region mix",
+                w.id, skew, args.warn_skew
+            );
+            warns += 1;
+        }
+        for r in 0..spec.n_regions {
+            if w.region_rows(spec.n_groups, r) == 0 {
+                continue;
+            }
+            let dp = w.dp_gap(spec.n_groups, r);
+            let shift = w.group_shift(spec, r);
+            let quantile = |q: f64| {
+                w.dist_quantile(r, q).map_or_else(|| "-".to_string(), |b| b.to_string())
+            };
+            let _ = writeln!(
+                out,
+                "  C{:<7} {:>6} {:>7.2}% {:>7.2}% {:>6.2}% {:>9} {:>9}",
+                r + 1,
+                w.region_rows(spec.n_groups, r),
+                dp * 100.0,
+                spec.baseline_dp[r] * 100.0,
+                shift * 100.0,
+                quantile(0.5),
+                quantile(0.9)
+            );
+            if dp > args.warn_dp {
+                let _ = writeln!(
+                    out,
+                    "  WARN window {} region C{}: live demographic-parity gap {:.2}% \
+                     exceeds {:.2}% (offline baseline {:.2}%)",
+                    w.id,
+                    r + 1,
+                    dp * 100.0,
+                    args.warn_dp * 100.0,
+                    spec.baseline_dp[r] * 100.0
+                );
+                warns += 1;
+            }
+            if shift > args.warn_shift {
+                let _ = writeln!(
+                    out,
+                    "  WARN window {} region C{}: group-mix shift {:.2}% exceeds {:.2}%",
+                    w.id,
+                    r + 1,
+                    shift * 100.0,
+                    args.warn_shift * 100.0
+                );
+                warns += 1;
+            }
+        }
+    }
+    let _ = writeln!(out);
+    if warns == 0 {
+        let _ = writeln!(out, "all windows within thresholds");
+    } else {
+        let _ = writeln!(out, "{warns} warning(s)");
+    }
+    Ok(out)
+}
+
+/// Reconstructs a [`falcc_telemetry::MonitorSnapshot`] from its
+/// deterministic JSONL serialisation (wall-clock latency is never in the
+/// stream, so those fields come back as zero).
+fn parse_monitor_stream(text: &str) -> Result<falcc_telemetry::MonitorSnapshot, String> {
+    use falcc_telemetry::metrics::HISTOGRAM_BUCKETS;
+    use falcc_telemetry::monitor::WindowSnapshot;
+
+    let mut spec: Option<falcc_telemetry::MonitorSpec> = None;
+    let mut rows_seen = 0u64;
+    let mut windows: Vec<WindowSnapshot> = Vec::new();
+    for (at, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let lineno = at + 1;
+        let v = serde_json::parse_value(line)
+            .map_err(|e| format!("line {lineno}: {e}"))?;
+        let kind = match v.get("type") {
+            Some(serde_json::Value::Str(s)) => s.clone(),
+            _ => return Err(format!("line {lineno}: missing \"type\"")),
+        };
+        match kind.as_str() {
+            "monitor_baseline" => {
+                rows_seen = get_u64(&v, "rows_seen").map_err(|e| format!("line {lineno}: {e}"))?;
+                spec = Some(falcc_telemetry::MonitorSpec {
+                    window_len: get_u64(&v, "window_len")
+                        .map_err(|e| format!("line {lineno}: {e}"))?,
+                    windows: get_u64(&v, "windows")
+                        .map_err(|e| format!("line {lineno}: {e}"))?
+                        as usize,
+                    n_regions: get_u64(&v, "n_regions")
+                        .map_err(|e| format!("line {lineno}: {e}"))?
+                        as usize,
+                    n_groups: get_u64(&v, "n_groups")
+                        .map_err(|e| format!("line {lineno}: {e}"))?
+                        as usize,
+                    baseline_occupancy: get_f64s(&v, "occupancy")
+                        .map_err(|e| format!("line {lineno}: {e}"))?,
+                    baseline_group_mix: get_f64s(&v, "group_mix")
+                        .map_err(|e| format!("line {lineno}: {e}"))?,
+                    baseline_dp: get_f64s(&v, "dp")
+                        .map_err(|e| format!("line {lineno}: {e}"))?,
+                });
+            }
+            "monitor_window" => {
+                let spec = spec
+                    .as_ref()
+                    .ok_or_else(|| format!("line {lineno}: window before baseline"))?;
+                windows.push(WindowSnapshot {
+                    id: get_u64(&v, "window").map_err(|e| format!("line {lineno}: {e}"))?,
+                    observed: get_u64(&v, "observed")
+                        .map_err(|e| format!("line {lineno}: {e}"))?,
+                    rejected: get_u64(&v, "rejected")
+                        .map_err(|e| format!("line {lineno}: {e}"))?,
+                    rows: vec![0; spec.n_regions * spec.n_groups],
+                    positives: vec![0; spec.n_regions * spec.n_groups],
+                    dist: vec![0; spec.n_regions * HISTOGRAM_BUCKETS],
+                    latency_ns: 0,
+                    latency_rows: 0,
+                });
+            }
+            "monitor_region" => {
+                let spec = spec
+                    .as_ref()
+                    .ok_or_else(|| format!("line {lineno}: region before baseline"))?;
+                let w = windows
+                    .last_mut()
+                    .ok_or_else(|| format!("line {lineno}: region before window"))?;
+                let r = get_u64(&v, "region").map_err(|e| format!("line {lineno}: {e}"))?
+                    as usize;
+                if r >= spec.n_regions {
+                    return Err(format!("line {lineno}: region {r} out of range"));
+                }
+                let rows = get_u64s(&v, "rows").map_err(|e| format!("line {lineno}: {e}"))?;
+                let positives =
+                    get_u64s(&v, "positives").map_err(|e| format!("line {lineno}: {e}"))?;
+                let dist =
+                    get_u64s(&v, "dist_buckets").map_err(|e| format!("line {lineno}: {e}"))?;
+                if rows.len() != spec.n_groups
+                    || positives.len() != spec.n_groups
+                    || dist.len() != HISTOGRAM_BUCKETS
+                {
+                    return Err(format!("line {lineno}: array length mismatch"));
+                }
+                let g0 = r * spec.n_groups;
+                w.rows[g0..g0 + spec.n_groups].copy_from_slice(&rows);
+                w.positives[g0..g0 + spec.n_groups].copy_from_slice(&positives);
+                let d0 = r * HISTOGRAM_BUCKETS;
+                w.dist[d0..d0 + HISTOGRAM_BUCKETS].copy_from_slice(&dist);
+            }
+            other => return Err(format!("line {lineno}: unknown type {other:?}")),
+        }
+    }
+    let spec = spec.ok_or("missing monitor_baseline line")?;
+    Ok(falcc_telemetry::MonitorSnapshot { spec, rows_seen, windows })
+}
+
+fn get_u64(v: &serde_json::Value, key: &str) -> Result<u64, String> {
+    match v.get(key) {
+        Some(serde_json::Value::U64(n)) => Ok(*n),
+        Some(serde_json::Value::I64(n)) if *n >= 0 => Ok(*n as u64),
+        Some(other) => Err(format!("field {key:?}: expected unsigned integer, got {other:?}")),
+        None => Err(format!("missing field {key:?}")),
+    }
+}
+
+fn num_f64(v: &serde_json::Value) -> Option<f64> {
+    match v {
+        serde_json::Value::F64(x) => Some(*x),
+        serde_json::Value::I64(n) => Some(*n as f64),
+        serde_json::Value::U64(n) => Some(*n as f64),
+        _ => None,
+    }
+}
+
+fn get_f64s(v: &serde_json::Value, key: &str) -> Result<Vec<f64>, String> {
+    match v.get(key) {
+        Some(serde_json::Value::Array(items)) => items
+            .iter()
+            .map(|item| {
+                num_f64(item).ok_or_else(|| format!("field {key:?}: non-numeric element"))
+            })
+            .collect(),
+        _ => Err(format!("field {key:?}: expected array")),
+    }
+}
+
+fn get_u64s(v: &serde_json::Value, key: &str) -> Result<Vec<u64>, String> {
+    match v.get(key) {
+        Some(serde_json::Value::Array(items)) => items
+            .iter()
+            .map(|item| match item {
+                serde_json::Value::U64(n) => Ok(*n),
+                serde_json::Value::I64(n) if *n >= 0 => Ok(*n as u64),
+                other => Err(format!("field {key:?}: expected unsigned element, got {other:?}")),
+            })
+            .collect(),
+        _ => Err(format!("field {key:?}: expected array")),
+    }
 }
 
 fn load_dataset(path: &str, sensitive: &[(&str, Vec<f64>)]) -> Result<Dataset, CliError> {
@@ -409,6 +694,49 @@ mod tests {
 
         falcc_telemetry::disable();
         falcc_telemetry::reset();
+        falcc_telemetry::set_quiet(false);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_monitor_out_writes_stream_and_monitor_renders_it() {
+        let dir = std::env::temp_dir().join("falcc_cli_monitor_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let stream = dir.join("monitor.jsonl").to_string_lossy().into_owned();
+
+        let out = crate::run(&v(&[
+            "run", "--scale", "0.05", "--seed", "9", "--monitor-out", &stream, "--quiet",
+        ]))
+        .unwrap();
+        assert!(out.contains("fitted on"), "{out}");
+        let jsonl = std::fs::read_to_string(&stream).unwrap();
+        assert!(jsonl.contains("\"type\":\"monitor_baseline\""), "{jsonl}");
+        assert!(jsonl.contains("\"type\":\"monitor_window\""), "{jsonl}");
+        assert!(jsonl.contains("\"type\":\"monitor_region\""), "{jsonl}");
+
+        // The report renders per-window tables from the stream alone.
+        let report =
+            crate::run(&v(&["monitor", "--input", &stream, "--quiet"])).unwrap();
+        assert!(report.contains("monitor stream:"), "{report}");
+        assert!(report.contains("window "), "{report}");
+        assert!(report.contains("dp gap"), "{report}");
+        // Absurdly tight thresholds must trip WARN lines.
+        let warned = crate::run(&v(&[
+            "monitor", "--input", &stream, "--warn-dp", "0.0000001", "--quiet",
+        ]))
+        .unwrap();
+        assert!(warned.contains("WARN"), "{warned}");
+        // Exposition mode: every line is `name{labels} value`.
+        let exposition = crate::run(&v(&[
+            "monitor", "--input", &stream, "--exposition", "--quiet",
+        ]))
+        .unwrap();
+        for line in exposition.lines() {
+            let (name_labels, value) = line.rsplit_once(' ').unwrap();
+            assert!(name_labels.contains('{') && name_labels.ends_with('}'), "{line}");
+            assert!(value.parse::<f64>().is_ok(), "{line}");
+        }
+
         falcc_telemetry::set_quiet(false);
         std::fs::remove_dir_all(&dir).ok();
     }

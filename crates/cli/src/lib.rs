@@ -98,7 +98,9 @@ USAGE:
   falcc audit   --model <model.json> --data <csv>
   falcc info    --model <model.json>
   falcc run     [--seed <u64>] [--scale <0..1>] [--threads <n>]
-                [--inject <spec>] [--no-compile]
+                [--inject <spec>] [--no-compile] [--monitor-out <jsonl>]
+  falcc monitor --input <jsonl> [--warn-dp <gap>] [--warn-skew <score>]
+                [--warn-shift <tv>] [--warn-reject <rate>] [--exposition]
 
 GLOBAL FLAGS (any subcommand):
   --profile            print a per-phase span tree and metrics afterwards
@@ -128,4 +130,13 @@ inference artifacts with region-batched dispatch) by default;
 --no-compile falls back to the interpreted online phase. The two planes
 produce bit-identical predictions — the flag only trades compile time
 against per-row throughput.
+
+--monitor-out installs the live serving monitors around the run's
+classification pass and writes the windowed fairness/drift stream as
+JSON lines (predictions and stdout are identical with monitors on or
+off). `falcc monitor` renders such a stream as a per-window, per-region
+report — live demographic-parity gap, occupancy skew and group-mix
+shift against the model's offline baseline, distance-to-centroid drift
+quantiles — emitting WARN lines where the --warn-* thresholds are
+exceeded, or Prometheus-style text exposition with --exposition.
 ";

@@ -1,0 +1,98 @@
+//! The offline monitor baseline: what the fitted model *actually saw*.
+//!
+//! Live drift monitoring (PR: serving observability) compares online
+//! traffic against the validation data that carved the regions — per-region
+//! occupancy, per-region group mix, and the training-time demographic-parity
+//! gap of the chosen combinations. [`MonitorBaseline`] captures those three
+//! vectors at fit time, travels inside the persisted snapshot (so a restored
+//! model monitors against what *it* was fitted on, not a re-derivation), and
+//! converts into a [`falcc_telemetry::MonitorSpec`] when a monitor is
+//! installed.
+
+use falcc_clustering::KMeansModel;
+use falcc_dataset::{Dataset, GroupId};
+use falcc_metrics::FairnessMetric;
+use serde::{Deserialize, Serialize};
+
+/// Default rows per monitor window when the caller does not choose one.
+pub const DEFAULT_WINDOW_LEN: u64 = 256;
+
+/// Default number of retained ring windows.
+pub const DEFAULT_WINDOWS: usize = 64;
+
+/// Per-region reference statistics from the offline phase, persisted with
+/// the model so serve-time drift is measured against the validation data
+/// the regions were carved from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonitorBaseline {
+    /// Local regions (clusters) at fit time.
+    pub n_regions: usize,
+    /// Sensitive groups at fit time.
+    pub n_groups: usize,
+    /// Fraction of validation rows per region (sums to 1).
+    pub occupancy: Vec<f64>,
+    /// Group mix per region, region-major `[r * n_groups + g]` (each
+    /// non-empty region's row sums to 1).
+    pub group_mix: Vec<f64>,
+    /// Training-time demographic-parity gap of each region's chosen
+    /// combination, evaluated on that region's validation members.
+    pub dp: Vec<f64>,
+}
+
+impl MonitorBaseline {
+    /// Derives the baseline at the end of the offline phase, from the raw
+    /// k-means membership (no gap filling, no fault injection — the
+    /// occupancy an online nearest-centroid match would reproduce on the
+    /// validation set) and the *resolved* combinations.
+    pub(crate) fn compute(
+        kmeans: &KMeansModel,
+        validation: &Dataset,
+        preds: &[Vec<u8>],
+        combos: &[Vec<usize>],
+        n_groups: usize,
+    ) -> Self {
+        let members = kmeans.cluster_members();
+        let n_regions = kmeans.k();
+        let total = validation.len().max(1) as f64;
+        let mut occupancy = vec![0.0; n_regions];
+        let mut group_mix = vec![0.0; n_regions * n_groups];
+        let mut dp = vec![0.0; n_regions];
+        for (r, rows) in members.iter().enumerate() {
+            occupancy[r] = rows.len() as f64 / total;
+            if rows.is_empty() {
+                continue;
+            }
+            let y: Vec<u8> = rows.iter().map(|&i| validation.label(i)).collect();
+            let g: Vec<GroupId> = rows.iter().map(|&i| validation.group(i)).collect();
+            let z: Vec<u8> = rows
+                .iter()
+                .zip(&g)
+                .map(|(&i, gi)| preds[combos[r][gi.index()]][i])
+                .collect();
+            let mut counts = vec![0u64; n_groups];
+            for gi in &g {
+                counts[gi.index()] += 1;
+            }
+            for (gidx, &c) in counts.iter().enumerate() {
+                group_mix[r * n_groups + gidx] = c as f64 / rows.len() as f64;
+            }
+            dp[r] = FairnessMetric::DemographicParity.bias(&y, &z, &g, n_groups);
+        }
+        Self { n_regions, n_groups, occupancy, group_mix, dp }
+    }
+
+    /// Builds the telemetry-side monitor configuration around this
+    /// baseline. `window_len` is rows per window, `windows` the ring size
+    /// (see [`DEFAULT_WINDOW_LEN`] / [`DEFAULT_WINDOWS`]).
+    pub fn spec(&self, window_len: u64, windows: usize) -> falcc_telemetry::MonitorSpec {
+        falcc_telemetry::MonitorSpec {
+            window_len,
+            windows,
+            n_regions: self.n_regions,
+            n_groups: self.n_groups,
+            baseline_occupancy: self.occupancy.clone(),
+            baseline_group_mix: self.group_mix.clone(),
+            baseline_dp: self.dp.clone(),
+        }
+    }
+}

@@ -38,7 +38,7 @@ use crate::error::RowFault;
 use crate::faults::FaultSite;
 use crate::framework::FairClassifier;
 use crate::offline::FalccModel;
-use crate::online::{project_row_into, PROJ_STACK_DIMS};
+use crate::online::{project_row_into, sq_dist, PROJ_STACK_DIMS};
 use falcc_clustering::CentroidMatrix;
 use falcc_dataset::{Dataset, GroupId};
 use falcc_models::{parallel_map, parallel_map_range, FlatPool};
@@ -126,24 +126,45 @@ impl CompiledModel<'_> {
     /// # Errors
     /// The same first [`RowFault`] the interpreted path reports.
     pub fn try_classify(&self, row: &[f64]) -> Result<u8, RowFault> {
+        let monitoring = falcc_telemetry::monitor::active();
+        let t0 = monitoring.then(std::time::Instant::now);
         let group = match self.model.validate_row(row) {
             Ok(g) => g,
             Err(fault) => {
                 falcc_telemetry::counters::ONLINE_ROWS_REJECTED.incr();
+                if monitoring {
+                    falcc_telemetry::monitor::single(
+                        None,
+                        None,
+                        t0.map_or(0, |t| t.elapsed().as_nanos() as u64),
+                    );
+                }
                 return Err(fault);
             }
         };
         let proxy = self.model.proxy_outcome();
         let mut stack = [0.0f64; PROJ_STACK_DIMS];
-        let region = if proxy.attrs.len() <= PROJ_STACK_DIMS {
+        let heap;
+        let projected: &[f64] = if proxy.attrs.len() <= PROJ_STACK_DIMS {
             let buf = &mut stack[..proxy.attrs.len()];
             project_row_into(row, &proxy.attrs, proxy.weights.as_deref(), buf);
-            self.match_region(buf)
+            buf
         } else {
-            let projected = proxy.project_row(row);
-            self.match_region(&projected)
+            heap = proxy.project_row(row);
+            &heap
         };
-        Ok(self.pool.predict_row(self.member_of(region, group) as usize, row))
+        let region = self.match_region(projected);
+        let pred = self.pool.predict_row(self.member_of(region, group) as usize, row);
+        if monitoring {
+            // `CentroidMatrix::row` returns the source centroid bits, so
+            // the distance matches the interpreted plane's exactly.
+            falcc_telemetry::monitor::single(
+                Some((region, group.index(), sq_dist(projected, self.centroids.row(region)))),
+                Some(pred),
+                t0.map_or(0, |t| t.elapsed().as_nanos() as u64),
+            );
+        }
+        Ok(pred)
     }
 
     /// Compiled single-row classification.
@@ -190,6 +211,8 @@ impl CompiledModel<'_> {
     /// plane records.
     pub fn classify_batch(&self, rows: &[Vec<f64>]) -> Vec<Result<u8, RowFault>> {
         let _sp = falcc_telemetry::span("serve.classify_batch");
+        let rec = falcc_telemetry::monitor::batch(rows.len());
+        let t0 = rec.as_ref().map(|_| std::time::Instant::now());
         let proxy = self.model.proxy_outcome();
         let plan = self.model.fault_plan();
         let threads = self.model.threads();
@@ -200,13 +223,24 @@ impl CompiledModel<'_> {
                 }
                 let group = self.model.validate_row(&rows[i])?;
                 let mut stack = [0.0f64; PROJ_STACK_DIMS];
-                let region = if proxy.attrs.len() <= PROJ_STACK_DIMS {
+                let heap;
+                let projected: &[f64] = if proxy.attrs.len() <= PROJ_STACK_DIMS {
                     let buf = &mut stack[..proxy.attrs.len()];
                     project_row_into(&rows[i], &proxy.attrs, proxy.weights.as_deref(), buf);
-                    self.match_region(buf)
+                    buf
                 } else {
-                    self.match_region(&proxy.project_row(&rows[i]))
+                    heap = proxy.project_row(&rows[i]);
+                    &heap
                 };
+                let region = self.match_region(projected);
+                if let Some(rec) = &rec {
+                    rec.stash(
+                        i,
+                        region,
+                        group.index(),
+                        sq_dist(projected, self.centroids.row(region)),
+                    );
+                }
                 Ok(self.member_of(region, group))
             });
         let rejected = checked.iter().filter(|r| r.is_err()).count();
@@ -223,11 +257,15 @@ impl CompiledModel<'_> {
             checked.iter().map(|check| *check.as_ref().unwrap_or(&SKIP)).collect();
         let row_slices: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
         let preds = self.run_buckets(&row_slices, &assignment, threads);
-        checked
+        let out: Vec<Result<u8, RowFault>> = checked
             .into_iter()
             .enumerate()
             .map(|(i, check)| check.map(|_| preds[i]))
-            .collect()
+            .collect();
+        if let (Some(rec), Some(t0)) = (rec, t0) {
+            rec.commit(|i| out[i].as_ref().ok().copied(), t0.elapsed().as_nanos() as u64);
+        }
+        out
     }
 
     /// Runs every validated row through its compiled member and scatters
@@ -260,6 +298,7 @@ impl CompiledModel<'_> {
             }
         }
         falcc_telemetry::counters::SERVE_BUCKET_ROWS.add(bucketed);
+        falcc_telemetry::counters::SERVE_ORDERED_ROWS.add(ordered.len() as u64);
         // One chunk stream covers both layouts: `Some(member)` is a
         // bucket slice of that member, `None` an input-order slice of
         // small-member rows resolved per row via `assignment`.
@@ -310,6 +349,8 @@ impl FairClassifier for CompiledModel<'_> {
     /// batch buffer, so the assignments are identical).
     fn predict_dataset(&self, ds: &Dataset) -> Vec<u8> {
         let _sp = falcc_telemetry::span("serve.classify_batch");
+        let rec = falcc_telemetry::monitor::batch(ds.len());
+        let t0 = rec.as_ref().map(|_| std::time::Instant::now());
         let proxy = self.model.proxy_outcome();
         let threads = self.model.threads();
         let assignment: Vec<u32> = parallel_map_range(ds.len(), threads, |i| {
@@ -322,17 +363,32 @@ impl FairClassifier for CompiledModel<'_> {
                 }
             };
             let mut stack = [0.0f64; PROJ_STACK_DIMS];
-            let region = if proxy.attrs.len() <= PROJ_STACK_DIMS {
+            let heap;
+            let projected: &[f64] = if proxy.attrs.len() <= PROJ_STACK_DIMS {
                 let buf = &mut stack[..proxy.attrs.len()];
                 project_row_into(ds.row(i), &proxy.attrs, proxy.weights.as_deref(), buf);
-                self.match_region(buf)
+                buf
             } else {
-                self.match_region(&proxy.project_row(ds.row(i)))
+                heap = proxy.project_row(ds.row(i));
+                &heap
             };
+            let region = self.match_region(projected);
+            if let Some(rec) = &rec {
+                rec.stash(
+                    i,
+                    region,
+                    group.index(),
+                    sq_dist(projected, self.centroids.row(region)),
+                );
+            }
             self.member_of(region, group)
         });
         let rows: Vec<&[f64]> = (0..ds.len()).map(|i| ds.row(i)).collect();
-        self.run_buckets(&rows, &assignment, threads)
+        let preds = self.run_buckets(&rows, &assignment, threads);
+        if let (Some(rec), Some(t0)) = (rec, t0) {
+            rec.commit(|i| Some(preds[i]), t0.elapsed().as_nanos() as u64);
+        }
+        preds
     }
 }
 

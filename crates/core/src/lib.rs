@@ -58,6 +58,7 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod baseline;
 pub mod compile;
 pub mod config;
 pub mod error;
@@ -69,6 +70,7 @@ pub mod persist;
 pub mod proxy;
 pub mod tuning;
 
+pub use baseline::MonitorBaseline;
 pub use compile::CompiledModel;
 pub use config::{ClusterSpec, FalccConfig};
 pub use error::{FalccError, RowFault};

@@ -1,6 +1,7 @@
 //! The FALCC offline phase: proxy mitigation → clustering → gap filling →
 //! model assessment (paper §3.3–§3.6).
 
+use crate::baseline::MonitorBaseline;
 use crate::config::{ClusterSpec, FalccConfig};
 use crate::error::FalccError;
 use crate::faults::{FaultPlan, FaultSite};
@@ -42,6 +43,10 @@ pub struct FalccModel {
     /// Empty in production; never serialised (restored models get the
     /// default plan).
     pub(crate) faults: FaultPlan,
+    /// Per-region validation statistics (occupancy, group mix, training
+    /// DP) — the reference the live serving monitors measure drift
+    /// against. Persisted with the model.
+    pub(crate) baseline: MonitorBaseline,
 }
 
 impl FalccModel {
@@ -318,6 +323,11 @@ impl FalccModel {
             &config.loss,
         );
 
+        // The monitor baseline reads the resolved combinations: the DP a
+        // region trained to is the DP of the combination it will actually
+        // serve, fallbacks included.
+        let baseline = MonitorBaseline::compute(&kmeans, validation, &preds, &combos, n_groups);
+
         let centroid_norms = kmeans.centroid_norms();
         Ok(Self {
             schema: validation.schema().clone(),
@@ -331,6 +341,7 @@ impl FalccModel {
             threads: config.threads,
             centroid_norms,
             faults: config.faults.clone(),
+            baseline,
         })
     }
 
@@ -395,6 +406,18 @@ impl FalccModel {
     /// injections.
     pub fn set_fault_plan(&mut self, faults: FaultPlan) {
         self.faults = faults;
+    }
+
+    /// The offline monitor baseline: per-region occupancy, group mix, and
+    /// training demographic parity on the validation set.
+    pub fn monitor_baseline(&self) -> &MonitorBaseline {
+        &self.baseline
+    }
+
+    /// Builds a live-monitor configuration around this model's baseline —
+    /// ready for [`falcc_telemetry::monitor::install`].
+    pub fn monitor_spec(&self, window_len: u64, windows: usize) -> falcc_telemetry::MonitorSpec {
+        self.baseline.spec(window_len, windows)
     }
 
     pub(crate) fn kmeans(&self) -> &KMeansModel {

@@ -18,6 +18,14 @@ use falcc_models::parallel_map_range;
 /// handful of attributes; anything wider falls back to a `Vec`).
 pub(crate) const PROJ_STACK_DIMS: usize = 32;
 
+/// Left-to-right squared Euclidean distance — shared by both serving
+/// planes to feed the live monitors' distance-to-centroid digests, so the
+/// streams agree bit-for-bit (the offline fallback resolver uses the same
+/// arithmetic).
+pub(crate) fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
 /// Projects `row` into `out` — the same arithmetic, in the same order, as
 /// [`falcc_dataset::Dataset::project_row`], writing into caller-provided
 /// storage instead of allocating.
@@ -74,12 +82,23 @@ impl FalccModel {
     /// # Errors
     /// The first [`RowFault`] detected, checked in that order.
     pub fn try_classify(&self, row: &[f64]) -> Result<u8, RowFault> {
+        // The monitor gate is one acquire load; when no monitor is
+        // installed the path below computes exactly what it always did.
+        let monitoring = falcc_telemetry::monitor::active();
+        let t0 = monitoring.then(std::time::Instant::now);
         // Validation resolves the sensitive group as a side effect; thread
         // it through instead of looking it up a second time.
         let group = match self.validate_row(row) {
             Ok(g) => g,
             Err(fault) => {
                 falcc_telemetry::counters::ONLINE_ROWS_REJECTED.incr();
+                if monitoring {
+                    falcc_telemetry::monitor::single(
+                        None,
+                        None,
+                        t0.map_or(0, |t| t.elapsed().as_nanos() as u64),
+                    );
+                }
                 return Err(fault);
             }
         };
@@ -88,14 +107,28 @@ impl FalccModel {
         // projection lands in a stack buffer (same arithmetic as the
         // heap-allocating `project_row`, so the same prediction).
         let mut stack = [0.0f64; PROJ_STACK_DIMS];
-        if proxy.attrs.len() <= PROJ_STACK_DIMS {
+        let heap;
+        let projected: &[f64] = if proxy.attrs.len() <= PROJ_STACK_DIMS {
             let buf = &mut stack[..proxy.attrs.len()];
             project_row_into(row, &proxy.attrs, proxy.weights.as_deref(), buf);
-            Ok(self.classify_projected_in(row, buf, group))
+            buf
         } else {
-            let projected = proxy.project_row(row);
-            Ok(self.classify_projected_in(row, &projected, group))
+            heap = proxy.project_row(row);
+            &heap
+        };
+        let (pred, region) = self.classify_routed_in(row, projected, group);
+        if monitoring {
+            falcc_telemetry::monitor::single(
+                Some((
+                    region,
+                    group.index(),
+                    sq_dist(projected, &self.kmeans().centroids[region]),
+                )),
+                Some(pred),
+                t0.map_or(0, |t| t.elapsed().as_nanos() as u64),
+            );
         }
+        Ok(pred)
     }
 
     /// Validation shared by the single-row and batch entry points,
@@ -116,28 +149,14 @@ impl FalccModel {
         self.group_index().group_of(row).map_err(|_| RowFault::GroupOutOfDomain)
     }
 
-    /// Classification of one sample whose projection is already computed —
-    /// the batch paths project a whole batch into one flat buffer and feed
-    /// each row's slice here, instead of allocating one projection per
-    /// call. The projection arithmetic is identical either way, so so is
-    /// the prediction. Callers have already validated the row (see
-    /// [`Self::row_fault`]), or hold rows from a schema-validated
-    /// [`falcc_dataset::Dataset`], which enforces the same invariants at
-    /// construction.
-    fn classify_projected(&self, row: &[f64], projected: &[f64]) -> u8 {
-        let group = match self.group_index().group_of(row) {
-            Ok(g) => g,
-            Err(_) => {
-                panic!("caller passed an unvalidated row: {}", RowFault::GroupOutOfDomain)
-            }
-        };
-        self.classify_projected_in(row, projected, group)
-    }
-
-    /// [`Self::classify_projected`] with the sensitive group already
-    /// resolved (the batch and single-row entry points get it for free
-    /// from validation).
-    fn classify_projected_in(&self, row: &[f64], projected: &[f64], group: GroupId) -> u8 {
+    /// Classification of one sample whose projection is already computed
+    /// and whose sensitive group is already resolved — the batch paths
+    /// project a whole batch into one flat buffer and feed each row's
+    /// slice here, instead of allocating one projection per call. The
+    /// projection arithmetic is identical either way, so so is the
+    /// prediction. Returns the prediction *and* the matched region, which
+    /// the callers feed to the live monitors.
+    fn classify_routed_in(&self, row: &[f64], projected: &[f64], group: GroupId) -> (u8, usize) {
         // Both arms run the identical match; the enabled arm additionally
         // times it. The disabled path never reads the clock.
         let cluster = if falcc_telemetry::enabled() {
@@ -150,7 +169,7 @@ impl FalccModel {
             self.kmeans().predict_pruned(projected, self.centroid_norms())
         };
         let model_idx = self.combo(cluster)[group.index()];
-        self.pool().models[model_idx].model.predict_row(row)
+        (self.pool().models[model_idx].model.predict_row(row), cluster)
     }
 
     /// The online phase for a batch of samples, fanned out over worker
@@ -168,6 +187,11 @@ impl FalccModel {
     /// rejected as if they carried a NaN in column 0.
     pub fn classify_batch(&self, rows: &[Vec<f64>]) -> Vec<Result<u8, RowFault>> {
         let _sp = falcc_telemetry::span("online.classify_batch");
+        // One ordinal block per batch; workers stash routes lock-free and
+        // the fold happens once at the end, so window contents are
+        // identical for every thread count.
+        let rec = falcc_telemetry::monitor::batch(rows.len());
+        let t0 = rec.as_ref().map(|_| std::time::Instant::now());
         let proxy = self.proxy_outcome();
         let plan = self.fault_plan();
         // Validation comes first because the shared projection pass
@@ -186,45 +210,75 @@ impl FalccModel {
             })
             .collect();
         let rejected = checked.iter().filter(|r| r.is_err()).count();
-        if rejected == 0 {
+        let out = if rejected == 0 {
             // Happy path: one flat projection buffer for the whole batch.
             let projected = falcc_dataset::Dataset::project_rows(
                 rows,
                 &proxy.attrs,
                 proxy.weights.as_deref(),
             );
-            return parallel_map_range(rows.len(), self.threads(), |i| match &checked[i] {
+            parallel_map_range(rows.len(), self.threads(), |i| match &checked[i] {
                 Ok(group) => {
-                    Ok(self.classify_projected_in(&rows[i], projected.row(i), *group))
+                    let (pred, region) =
+                        self.classify_routed_in(&rows[i], projected.row(i), *group);
+                    if let Some(rec) = &rec {
+                        rec.stash(
+                            i,
+                            region,
+                            group.index(),
+                            sq_dist(projected.row(i), &self.kmeans().centroids[region]),
+                        );
+                    }
+                    Ok(pred)
                 }
                 Err(fault) => Err(fault.clone()),
-            });
-        }
-        falcc_telemetry::counters::ONLINE_ROWS_REJECTED.add(rejected as u64);
-        if falcc_telemetry::enabled() {
-            falcc_telemetry::event(
-                "online.rows_rejected",
-                format!("{rejected} of {} batch rows rejected", rows.len()),
+            })
+        } else {
+            falcc_telemetry::counters::ONLINE_ROWS_REJECTED.add(rejected as u64);
+            if falcc_telemetry::enabled() {
+                falcc_telemetry::event(
+                    "online.rows_rejected",
+                    format!("{rejected} of {} batch rows rejected", rows.len()),
+                );
+            }
+            // Degraded path: substitute a neutral stand-in for each
+            // rejected row so the batch projection stays shape-safe, then
+            // surface the recorded fault instead of the stand-in's
+            // prediction.
+            let stand_in = vec![0.0; self.schema().n_attrs()];
+            let safe: Vec<Vec<f64>> = rows
+                .iter()
+                .zip(&checked)
+                .map(|(row, check)| if check.is_err() { stand_in.clone() } else { row.clone() })
+                .collect();
+            let projected = falcc_dataset::Dataset::project_rows(
+                &safe,
+                &proxy.attrs,
+                proxy.weights.as_deref(),
             );
+            parallel_map_range(rows.len(), self.threads(), |i| match &checked[i] {
+                Ok(group) => {
+                    let (pred, region) =
+                        self.classify_routed_in(&rows[i], projected.row(i), *group);
+                    if let Some(rec) = &rec {
+                        rec.stash(
+                            i,
+                            region,
+                            group.index(),
+                            sq_dist(projected.row(i), &self.kmeans().centroids[region]),
+                        );
+                    }
+                    Ok(pred)
+                }
+                Err(fault) => Err(fault.clone()),
+            })
+        };
+        if let (Some(rec), Some(t0)) = (rec, t0) {
+            // Rejected rows never stashed a route; commit folds them into
+            // the window's rejection tally.
+            rec.commit(|i| out[i].as_ref().ok().copied(), t0.elapsed().as_nanos() as u64);
         }
-        // Degraded path: substitute a neutral stand-in for each rejected
-        // row so the batch projection stays shape-safe, then surface the
-        // recorded fault instead of the stand-in's prediction.
-        let stand_in = vec![0.0; self.schema().n_attrs()];
-        let safe: Vec<Vec<f64>> = rows
-            .iter()
-            .zip(&checked)
-            .map(|(row, check)| if check.is_err() { stand_in.clone() } else { row.clone() })
-            .collect();
-        let projected = falcc_dataset::Dataset::project_rows(
-            &safe,
-            &proxy.attrs,
-            proxy.weights.as_deref(),
-        );
-        parallel_map_range(rows.len(), self.threads(), |i| match &checked[i] {
-            Ok(group) => Ok(self.classify_projected_in(&rows[i], projected.row(i), *group)),
-            Err(fault) => Err(fault.clone()),
-        })
+        out
     }
 }
 
@@ -242,11 +296,34 @@ impl FairClassifier for FalccModel {
     /// buffer instead of one allocation per sample), higher throughput.
     fn predict_dataset(&self, ds: &falcc_dataset::Dataset) -> Vec<u8> {
         let _sp = falcc_telemetry::span("online.classify_batch");
+        let rec = falcc_telemetry::monitor::batch(ds.len());
+        let t0 = rec.as_ref().map(|_| std::time::Instant::now());
         let proxy = self.proxy_outcome();
         let projected = ds.project(&proxy.attrs, proxy.weights.as_deref());
-        parallel_map_range(ds.len(), self.threads(), |i| {
-            self.classify_projected(ds.row(i), projected.row(i))
-        })
+        let preds = parallel_map_range(ds.len(), self.threads(), |i| {
+            // Dataset rows passed schema validation at construction; a
+            // group lookup can only fail on an unvalidated row.
+            let group = match self.group_index().group_of(ds.row(i)) {
+                Ok(g) => g,
+                Err(_) => {
+                    panic!("caller passed an unvalidated row: {}", RowFault::GroupOutOfDomain)
+                }
+            };
+            let (pred, region) = self.classify_routed_in(ds.row(i), projected.row(i), group);
+            if let Some(rec) = &rec {
+                rec.stash(
+                    i,
+                    region,
+                    group.index(),
+                    sq_dist(projected.row(i), &self.kmeans().centroids[region]),
+                );
+            }
+            pred
+        });
+        if let (Some(rec), Some(t0)) = (rec, t0) {
+            rec.commit(|i| Some(preds[i]), t0.elapsed().as_nanos() as u64);
+        }
+        preds
     }
 }
 

@@ -34,6 +34,7 @@
 //!            model.predict_row(split.test.row(0)));
 //! ```
 
+use crate::baseline::MonitorBaseline;
 use crate::error::FalccError;
 use crate::offline::FalccModel;
 use crate::proxy::ProxyOutcome;
@@ -55,6 +56,7 @@ pub struct SavedFalccModel {
     group_index: GroupIndex,
     loss: LossConfig,
     name: String,
+    baseline: MonitorBaseline,
 }
 
 /// Current snapshot format version (v2 introduced the checksummed
@@ -122,6 +124,7 @@ impl SavedFalccModel {
             group_index: model.group_index.clone(),
             loss: model.loss,
             name: model.name.clone(),
+            baseline: model.baseline.clone(),
         })
     }
 
@@ -175,6 +178,7 @@ impl SavedFalccModel {
             // Fault schedules are a test-harness concern, never part of a
             // shipped model.
             faults: crate::faults::FaultPlan::default(),
+            baseline: self.baseline,
         }
     }
 

@@ -2,8 +2,10 @@
 //!
 //! Structured observability for the FALCC pipeline: hierarchical **spans**
 //! with monotonic timing, a **metrics registry** (counters, gauges,
-//! fixed-bucket histograms), and pluggable **sinks** (in-memory snapshot
-//! for tests, a human-readable phase-tree report, JSON-lines export).
+//! fixed-bucket histograms), live serving **monitors** (windowed
+//! fairness/drift aggregation — see [`monitor`]), and pluggable **sinks**
+//! (in-memory snapshot for tests, a human-readable phase-tree report,
+//! JSON-lines export, Prometheus-style text exposition).
 //!
 //! Three invariants govern the design:
 //!
@@ -51,10 +53,12 @@
 //! suites under tracing without touching their code.
 
 pub mod metrics;
+pub mod monitor;
 pub mod sink;
 pub mod span;
 
 pub use metrics::{counters, gauges, histograms, Counter, Gauge, Histogram};
+pub use monitor::{MonitorSnapshot, MonitorSpec, MonitorState};
 pub use sink::{HistogramSnapshot, Snapshot};
 pub use span::{event, span, span_labeled, span_under, Span, SpanId, SpanRecord};
 

@@ -309,6 +309,11 @@ pub mod counters {
     /// Rows dispatched through per-model buckets by the compiled batch
     /// path.
     pub static SERVE_BUCKET_ROWS: Counter = Counter::new("serve.bucket_rows");
+    /// Rows the compiled batch path served in input order instead —
+    /// small-arena and kNN-delegate members that skip bucketing. Together
+    /// with `serve.bucket_rows` this reconciles with every accepted row,
+    /// whatever the member kind.
+    pub static SERVE_ORDERED_ROWS: Counter = Counter::new("serve.ordered_rows");
 }
 
 /// Well-known gauges.

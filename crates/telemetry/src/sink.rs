@@ -126,13 +126,16 @@ impl Snapshot {
             }
         }
         for h in &self.histograms {
+            let q = |q: f64| h.quantile_upper_bound(q).map_or_else(|| "?".into(), fmt_ns);
             let _ = writeln!(
                 out,
-                "  {} = n={} mean={} p99<={} (histogram)",
+                "  {} = n={} mean={} p50<={} p90<={} p99<={} (histogram)",
                 h.name,
                 h.count,
                 fmt_ns(h.mean()),
-                h.quantile_upper_bound(0.99).map_or_else(|| "?".into(), fmt_ns),
+                q(0.5),
+                q(0.9),
+                q(0.99),
             );
         }
         out
