@@ -15,10 +15,11 @@
 //!   are stable enough to gate CI on, unlike the end-to-end percentage.
 
 use crate::BenchDataset;
-use falcc::{FairClassifier, FalccConfig, FalccModel};
+use falcc::{CheckpointSpec, FairClassifier, FalccConfig, FalccModel};
 use falcc_dataset::{SplitRatios, ThreeWaySplit};
 use falcc_metrics::LossConfig;
 use serde::Serialize;
+use std::path::Path;
 use std::time::Instant;
 
 /// The measurement envelope written to `BENCH_telemetry.json`.
@@ -58,7 +59,23 @@ pub struct TelemetryOverheadReport {
     pub spans_recorded: usize,
     /// Whether predictions were bit-identical with telemetry on and off.
     pub predictions_identical: bool,
+    /// Median end-to-end wall-clock with checkpoint journaling on (ms);
+    /// telemetry stays off so the delta isolates the journal's atomic
+    /// writes and manifest chaining.
+    pub checkpoint_ms: f64,
+    /// `(checkpoint - disabled) / disabled`, percent. Gated below
+    /// [`CHECKPOINT_OVERHEAD_MAX_PCT`] at benchmark scale.
+    pub checkpoint_overhead_pct: f64,
+    /// Checkpoint commits one journaled run performed (manifest lines).
+    pub checkpoint_commits: usize,
+    /// Whether predictions were bit-identical with journaling on and off.
+    pub checkpoint_predictions_identical: bool,
 }
+
+/// Bound on the end-to-end cost of checkpoint journaling at benchmark
+/// scale (`--scale 0.10` and up): amortised over real pool training the
+/// journal's atomic writes must stay under 3%.
+pub const CHECKPOINT_OVERHEAD_MAX_PCT: f64 = 3.0;
 
 /// CI bound for the disabled hot path, generous over the expected
 /// single-digit cost so shared runners do not flake.
@@ -69,6 +86,7 @@ fn end_to_end_ms(
     scale: f64,
     seed: u64,
     monitored: bool,
+    checkpoint: Option<&Path>,
 ) -> (f64, Vec<u8>, usize) {
     let ds = dataset.generate(seed, scale);
     let split = ThreeWaySplit::split(&ds, SplitRatios::PAPER, seed).expect("split");
@@ -79,6 +97,9 @@ fn end_to_end_ms(
         ..Default::default()
     };
     cfg.pool.seed = seed;
+    // A fresh (non-resume) journal per rep: each run pays the full
+    // record-write + manifest-chain cost, never a cached resume.
+    cfg.checkpoint = checkpoint.map(CheckpointSpec::new);
     let start = Instant::now();
     let model = FalccModel::fit(&split.train, &split.validation, &cfg).expect("fit");
     let state = monitored.then(|| {
@@ -166,9 +187,25 @@ pub fn measure_overhead(scale: f64, seed: u64, reps: usize) -> TelemetryOverhead
     let monitor_ns = disabled_monitor_ns();
     // Interleaving the two states would be fairer to slow CPU-frequency
     // drift, but a warm-up pass plus medians is enough at this scale.
-    let (_warmup, preds_off, _) = end_to_end_ms(dataset, scale, seed, false);
+    let (_warmup, preds_off, _) = end_to_end_ms(dataset, scale, seed, false, None);
     let disabled: Vec<f64> =
-        (0..reps).map(|_| end_to_end_ms(dataset, scale, seed, false).0).collect();
+        (0..reps).map(|_| end_to_end_ms(dataset, scale, seed, false, None).0).collect();
+
+    // Journaled runs: telemetry off, checkpointing on — the delta against
+    // `disabled` is what crash consistency costs the offline phase.
+    let ck_dir = std::env::temp_dir().join(format!("falcc_bench_ck_{seed}"));
+    let mut preds_ck = Vec::new();
+    let checkpointed: Vec<f64> = (0..reps)
+        .map(|_| {
+            let (ms, preds, _) = end_to_end_ms(dataset, scale, seed, false, Some(&ck_dir));
+            preds_ck = preds;
+            ms
+        })
+        .collect();
+    let checkpoint_commits = std::fs::read_to_string(ck_dir.join(falcc::checkpoint::MANIFEST))
+        .map(|m| m.lines().count())
+        .unwrap_or(0);
+    std::fs::remove_dir_all(&ck_dir).ok();
 
     // Monitored runs: telemetry recording stays off, only the live
     // monitors are installed — the delta against `disabled` isolates
@@ -177,7 +214,7 @@ pub fn measure_overhead(scale: f64, seed: u64, reps: usize) -> TelemetryOverhead
     let mut preds_monitored = Vec::new();
     let monitored: Vec<f64> = (0..reps)
         .map(|_| {
-            let (ms, preds, windows) = end_to_end_ms(dataset, scale, seed, true);
+            let (ms, preds, windows) = end_to_end_ms(dataset, scale, seed, true, None);
             monitor_windows = windows;
             preds_monitored = preds;
             ms
@@ -190,7 +227,7 @@ pub fn measure_overhead(scale: f64, seed: u64, reps: usize) -> TelemetryOverhead
     let enabled: Vec<f64> = (0..reps)
         .map(|_| {
             falcc_telemetry::reset();
-            let (ms, preds, _) = end_to_end_ms(dataset, scale, seed, false);
+            let (ms, preds, _) = end_to_end_ms(dataset, scale, seed, false, None);
             spans_recorded = falcc_telemetry::snapshot().spans.len();
             preds_on = preds;
             ms
@@ -202,6 +239,7 @@ pub fn measure_overhead(scale: f64, seed: u64, reps: usize) -> TelemetryOverhead
     let disabled_ms = median(disabled);
     let enabled_ms = median(enabled);
     let monitor_ms = median(monitored);
+    let checkpoint_ms = median(checkpointed);
     TelemetryOverheadReport {
         scale,
         seed,
@@ -219,6 +257,10 @@ pub fn measure_overhead(scale: f64, seed: u64, reps: usize) -> TelemetryOverhead
         monitor_predictions_identical: preds_off == preds_monitored,
         spans_recorded,
         predictions_identical: preds_off == preds_on,
+        checkpoint_ms,
+        checkpoint_overhead_pct: (checkpoint_ms - disabled_ms) / disabled_ms * 100.0,
+        checkpoint_commits,
+        checkpoint_predictions_identical: preds_off == preds_ck,
     }
 }
 
@@ -239,6 +281,12 @@ mod tests {
         );
         assert!(report.monitor_windows_recorded > 0, "monitored run must fill windows");
         assert!(report.monitor_ms > 0.0);
+        assert!(report.checkpoint_ms > 0.0);
+        assert!(report.checkpoint_commits > 0, "journaled run must commit checkpoints");
+        assert!(
+            report.checkpoint_predictions_identical,
+            "checkpoint journaling changed predictions"
+        );
         assert!(report.disabled_counter_ns < DISABLED_PATH_MAX_NS);
         assert!(report.disabled_span_ns < DISABLED_PATH_MAX_NS);
         assert!(report.disabled_monitor_ns < DISABLED_PATH_MAX_NS);

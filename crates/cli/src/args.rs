@@ -2,7 +2,7 @@
 //! policy admits no CLI crate).
 
 use crate::CliError;
-use falcc::{ClusterSpec, FaultPlan, ProxyStrategy};
+use falcc::{ClusterSpec, CrashPhase, FaultPlan, ProxyStrategy};
 use falcc_metrics::FairnessMetric;
 
 /// The parsed subcommand with its options.
@@ -22,6 +22,11 @@ pub enum Command {
     /// Self-contained end-to-end demo on synthetic data (fit + classify),
     /// mainly useful with `--profile`/`--trace-out`.
     Run(RunArgs),
+    /// Checkpointed offline fit on synthetic data: journals phase-granular
+    /// checkpoints and — with `--resume` — picks up after the last valid
+    /// one. The chaos harness re-execs this subcommand around every
+    /// `--crash-at` kill point.
+    Fit(FitArgs),
     /// Render a live-monitor stream (`falcc run --monitor-out …`) as a
     /// per-region drift & fairness report with threshold WARN lines.
     Monitor(MonitorArgs),
@@ -92,6 +97,29 @@ pub struct RunArgs {
     /// Install the live serving monitors around the classification pass
     /// and write the windowed monitor stream (JSONL) to this path.
     pub monitor_out: Option<String>,
+}
+
+/// `falcc fit` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitArgs {
+    /// RNG seed for data generation and fitting.
+    pub seed: u64,
+    /// Synthetic dataset row count.
+    pub rows: usize,
+    /// Worker threads (0 = available parallelism). Pure throughput knob:
+    /// the fitted model is bit-identical for every value, including when
+    /// a resumed run uses a different count than the crashed one.
+    pub threads: usize,
+    /// Where the fitted model snapshot (JSON) is written.
+    pub out: String,
+    /// Checkpoint journal directory; `None` fits without journaling.
+    pub checkpoint_dir: Option<String>,
+    /// Resume from the journal's last valid checkpoint instead of wiping.
+    pub resume: bool,
+    /// Transient-I/O retry budget for journal writes.
+    pub retry_budget: u32,
+    /// Deterministic fault schedule from `--crash-at` / `--inject`.
+    pub faults: FaultPlan,
 }
 
 /// `falcc monitor` options.
@@ -183,6 +211,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
         "train" => parse_train(&argv[1..]),
         "predict" => parse_predict(&argv[1..]),
         "run" => parse_run(&argv[1..]),
+        "fit" => parse_fit(&argv[1..]),
         "monitor" => parse_monitor(&argv[1..]),
         "audit" => parse_model_data(&argv[1..]).map(Command::Audit),
         "info" => {
@@ -310,7 +339,7 @@ fn parse_run(args: &[String]) -> Result<Command, CliError> {
             "--threads" => {
                 out.threads = parse_num(cur.next_value("--threads")?, "--threads")?
             }
-            "--inject" => out.faults = parse_inject(cur.next_value("--inject")?)?,
+            "--inject" => parse_inject(&mut out.faults, cur.next_value("--inject")?)?,
             "--no-compile" => out.no_compile = true,
             "--monitor-out" => {
                 out.monitor_out = Some(cur.next_value("--monitor-out")?.to_string())
@@ -322,6 +351,68 @@ fn parse_run(args: &[String]) -> Result<Command, CliError> {
         return Err(CliError::usage("--scale must be in (0, 1]"));
     }
     Ok(Command::Run(out))
+}
+
+fn parse_fit(args: &[String]) -> Result<Command, CliError> {
+    let mut out = FitArgs {
+        seed: 11,
+        rows: 600,
+        threads: 0,
+        out: String::new(),
+        checkpoint_dir: None,
+        resume: false,
+        retry_budget: 3,
+        faults: FaultPlan::default(),
+    };
+    let mut cur = Cursor { args, at: 0 };
+    while cur.at < cur.args.len() {
+        let flag = cur.args[cur.at].clone();
+        cur.at += 1;
+        match flag.as_str() {
+            "--seed" => out.seed = parse_num(cur.next_value("--seed")?, "--seed")?,
+            "--rows" => out.rows = parse_num(cur.next_value("--rows")?, "--rows")?,
+            "--threads" => {
+                out.threads = parse_num(cur.next_value("--threads")?, "--threads")?
+            }
+            "--out" => out.out = cur.next_value("--out")?.to_string(),
+            "--checkpoint-dir" => {
+                out.checkpoint_dir = Some(cur.next_value("--checkpoint-dir")?.to_string())
+            }
+            "--resume" => out.resume = true,
+            "--retry-budget" => {
+                out.retry_budget =
+                    parse_num(cur.next_value("--retry-budget")?, "--retry-budget")?
+            }
+            "--crash-at" => {
+                let spec = cur.next_value("--crash-at")?;
+                let bad = || {
+                    CliError::usage(format!(
+                        "invalid --crash-at {spec:?}; expected <ordinal>:<phase> with \
+                         phase one of before-write|after-record|mid-manifest|after-commit"
+                    ))
+                };
+                let (ord, phase) = spec.split_once(':').ok_or_else(bad)?;
+                out.faults.crash_at(
+                    ord.parse().map_err(|_| bad())?,
+                    CrashPhase::parse(phase).ok_or_else(bad)?,
+                );
+            }
+            "--inject" => parse_inject(&mut out.faults, cur.next_value("--inject")?)?,
+            other => return Err(CliError::usage(format!("unknown flag {other}"))),
+        }
+    }
+    if out.out.is_empty() {
+        return Err(CliError::usage("fit requires --out"));
+    }
+    if out.rows < 100 {
+        return Err(CliError::usage("--rows must be at least 100"));
+    }
+    if out.checkpoint_dir.is_none() && (out.resume || out.faults.crash_point().is_some()) {
+        return Err(CliError::usage(
+            "--resume and --crash-at require --checkpoint-dir",
+        ));
+    }
+    Ok(Command::Fit(out))
 }
 
 fn parse_monitor(args: &[String]) -> Result<Command, CliError> {
@@ -360,11 +451,10 @@ fn parse_monitor(args: &[String]) -> Result<Command, CliError> {
     Ok(Command::Monitor(out))
 }
 
-/// Parses an `--inject` fault schedule: comma-separated
+/// Parses an `--inject` fault schedule into `plan`: comma-separated
 /// `pool:<i>` | `trial:<i>` | `cluster:<c>` | `row:<i>` | `drop:<c>/<g>`
-/// items, e.g. `--inject pool:1,cluster:0,drop:2/1`.
-fn parse_inject(spec: &str) -> Result<FaultPlan, CliError> {
-    let mut plan = FaultPlan::default();
+/// | `io:<a>` items, e.g. `--inject pool:1,cluster:0,drop:2/1`.
+fn parse_inject(plan: &mut FaultPlan, spec: &str) -> Result<(), CliError> {
     for item in spec.split(',').filter(|s| !s.trim().is_empty()) {
         let item = item.trim();
         let bad =
@@ -390,10 +480,13 @@ fn parse_inject(spec: &str) -> Result<FaultPlan, CliError> {
                     g.parse().map_err(|_| bad())?,
                 );
             }
+            "io" => {
+                plan.fail_io_attempt(value.parse().map_err(|_| bad())?);
+            }
             _ => return Err(bad()),
         }
     }
-    Ok(plan)
+    Ok(())
 }
 
 fn parse_predict(args: &[String]) -> Result<Command, CliError> {
@@ -632,8 +725,10 @@ mod tests {
 
     #[test]
     fn inject_specs_parse_into_fault_plans() {
-        let cmd = parse(&v(&["run", "--inject", "pool:1,cluster:0,drop:2/1,row:3,trial:4"]))
-            .unwrap();
+        let cmd = parse(&v(&[
+            "run", "--inject", "pool:1,cluster:0,drop:2/1,row:3,trial:4,io:6",
+        ]))
+        .unwrap();
         let Command::Run(r) = cmd else { panic!("expected run") };
         let mut expected = FaultPlan::default();
         expected
@@ -641,12 +736,63 @@ mod tests {
             .empty_cluster(0)
             .drop_group_in_region(2, 1)
             .poison_row(3)
-            .fail_tuning_trial(4);
+            .fail_tuning_trial(4)
+            .fail_io_attempt(6);
         assert_eq!(r.faults, expected);
 
-        for bad in ["pool", "pool:x", "drop:2", "drop:a/b", "gremlin:1"] {
+        for bad in ["pool", "pool:x", "drop:2", "drop:a/b", "gremlin:1", "io:x"] {
             let err = parse(&v(&["run", "--inject", bad])).unwrap_err();
             assert_eq!(err.exit_code, 2, "{bad}");
+        }
+    }
+
+    #[test]
+    fn fit_defaults_and_flags() {
+        let cmd = parse(&v(&["fit", "--out", "m.json"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Fit(FitArgs {
+                seed: 11,
+                rows: 600,
+                threads: 0,
+                out: "m.json".into(),
+                checkpoint_dir: None,
+                resume: false,
+                retry_budget: 3,
+                faults: FaultPlan::default(),
+            })
+        );
+
+        let cmd = parse(&v(&[
+            "fit", "--out", "m.json", "--checkpoint-dir", "ck", "--resume",
+            "--seed", "3", "--rows", "400", "--threads", "2", "--retry-budget", "5",
+            "--crash-at", "7:after-record", "--inject", "io:2",
+        ]))
+        .unwrap();
+        let Command::Fit(f) = cmd else { panic!("expected fit") };
+        assert_eq!(f.checkpoint_dir.as_deref(), Some("ck"));
+        assert!(f.resume);
+        assert_eq!((f.seed, f.rows, f.threads, f.retry_budget), (3, 400, 2, 5));
+        let mut expected = FaultPlan::default();
+        expected.crash_at(7, CrashPhase::AfterRecord).fail_io_attempt(2);
+        assert_eq!(f.faults, expected);
+    }
+
+    #[test]
+    fn fit_usage_errors() {
+        for bad in [
+            vec!["fit"],
+            // --resume / --crash-at without a journal directory
+            vec!["fit", "--out", "m", "--resume"],
+            vec!["fit", "--out", "m", "--crash-at", "1:after-record"],
+            vec!["fit", "--out", "m", "--rows", "10"],
+            // malformed crash points
+            vec!["fit", "--out", "m", "--checkpoint-dir", "ck", "--crash-at", "1"],
+            vec!["fit", "--out", "m", "--checkpoint-dir", "ck", "--crash-at", "x:after-record"],
+            vec!["fit", "--out", "m", "--checkpoint-dir", "ck", "--crash-at", "1:nope"],
+        ] {
+            let err = parse(&v(&bad)).unwrap_err();
+            assert_eq!(err.exit_code, 2, "{bad:?}");
         }
     }
 

@@ -1,10 +1,12 @@
 //! Implementation of the CLI subcommands. Each returns its stdout text so
 //! the whole flow is unit-testable in-process.
 
-use crate::args::{Command, ModelDataArgs, MonitorArgs, PredictArgs, RunArgs, TrainArgs};
+use crate::args::{
+    Command, FitArgs, ModelDataArgs, MonitorArgs, PredictArgs, RunArgs, TrainArgs,
+};
 use crate::{CliError, USAGE};
 use falcc::{
-    auto_tune, FairClassifier, FalccConfig, FalccModel, SavedFalccModel,
+    auto_tune, CheckpointSpec, FairClassifier, FalccConfig, FalccModel, SavedFalccModel,
 };
 use falcc_dataset::{csv, Dataset, SplitRatios, ThreeWaySplit};
 use falcc_metrics::individual::consistency;
@@ -23,6 +25,7 @@ pub fn execute(command: Command) -> Result<String, CliError> {
         Command::Audit(args) => audit(args),
         Command::Info { model } => info(&model),
         Command::Run(args) => run_demo(args),
+        Command::Fit(args) => fit(args),
         Command::Monitor(args) => monitor_report(&args),
     }
 }
@@ -136,6 +139,74 @@ fn run_demo(args: RunArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `falcc fit`: the checkpointed offline phase on a synthetic benchmark
+/// dataset. With `--checkpoint-dir` the fit journals phase-granular
+/// checkpoints; `--resume` picks up after the last valid one and must
+/// write a model snapshot byte-identical to an uninterrupted run. The
+/// chaos harness drives this subcommand, hard-killing it at `--crash-at`
+/// and asserting exactly that equality.
+fn fit(args: FitArgs) -> Result<String, CliError> {
+    use falcc_dataset::synthetic::{generate, SyntheticConfig};
+
+    let mut dcfg = SyntheticConfig::social(0.30);
+    dcfg.n = args.rows;
+    let data = generate(&dcfg, args.seed)
+        .map_err(|e| CliError::runtime(format!("generating data: {e}")))?;
+    let split = ThreeWaySplit::split(&data, SplitRatios::PAPER, args.seed)
+        .map_err(|e| CliError::runtime(format!("splitting data: {e}")))?;
+
+    let mut config = FalccConfig {
+        proxy: falcc::ProxyStrategy::PAPER_REMOVE,
+        seed: args.seed,
+        threads: args.threads,
+        faults: args.faults,
+        ..FalccConfig::default()
+    };
+    // The small fixed profile (4 regions, 3-model pool) keeps the journal's
+    // commit count predictable — the kill-point catalog the chaos harness
+    // sweeps is derived from it — and keeps the sweep fast.
+    config.scale_for_tests();
+    if let Some(dir) = &args.checkpoint_dir {
+        let mut spec = CheckpointSpec::new(dir);
+        spec.resume = args.resume;
+        spec.retry_budget = args.retry_budget;
+        config.checkpoint = Some(spec);
+    }
+
+    falcc_telemetry::progress(match (&args.checkpoint_dir, args.resume) {
+        (None, _) => "fitting FALCC (offline phase, no journal)",
+        (Some(_), false) => "fitting FALCC (offline phase, fresh checkpoint journal)",
+        (Some(_), true) => "fitting FALCC (offline phase, resuming from journal)",
+    });
+    let model = FalccModel::fit(&split.train, &split.validation, &config)
+        .map_err(|e| CliError::runtime(format!("fitting FALCC: {e}")))?;
+    SavedFalccModel::capture(&model)
+        .and_then(|saved| saved.save_file(&args.out))
+        .map_err(|e| CliError::runtime(format!("saving model: {e}")))?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fitted on {} train / {} validation rows: pool of {} models, {} local regions",
+        split.train.len(),
+        split.validation.len(),
+        model.pool().len(),
+        model.n_regions()
+    );
+    if args.checkpoint_dir.is_some() && falcc_telemetry::enabled() {
+        let _ = writeln!(
+            out,
+            "checkpoints: {} written, {} resumed, {} discarded; {} transient retries",
+            falcc_telemetry::counters::CHECKPOINTS_WRITTEN.get(),
+            falcc_telemetry::counters::CHECKPOINTS_RESUMED.get(),
+            falcc_telemetry::counters::CHECKPOINTS_DISCARDED.get(),
+            falcc_telemetry::counters::OFFLINE_RETRIES.get(),
+        );
+    }
+    let _ = writeln!(out, "model written to {}", args.out);
+    Ok(out)
+}
+
 /// `falcc monitor`: renders a windowed monitor stream (JSONL written by
 /// `falcc run --monitor-out`) as a per-window, per-region drift and
 /// fairness report with threshold WARN lines, or as Prometheus-style
@@ -143,11 +214,27 @@ fn run_demo(args: RunArgs) -> Result<String, CliError> {
 fn monitor_report(args: &MonitorArgs) -> Result<String, CliError> {
     let text = std::fs::read_to_string(&args.input)
         .map_err(|e| CliError::runtime(format!("reading {}: {e}", args.input)))?;
+    // An empty stream (monitors armed but the process never observed a
+    // row, or an empty --monitor-out file) is a report of its own, not a
+    // parse error — and exposition must stay machine-parseable (no rows =
+    // no samples).
+    if text.lines().all(|l| l.trim().is_empty()) {
+        return Ok(if args.exposition {
+            String::new()
+        } else {
+            "monitor stream: empty (no baseline or windows recorded)\n".to_string()
+        });
+    }
     let snap = parse_monitor_stream(&text)
         .map_err(|e| CliError::runtime(format!("parsing {}: {e}", args.input)))?;
     if args.exposition {
         return Ok(snap.render_exposition());
     }
+    // Percentage cell that renders `-` for values no rows back up
+    // (zero-row windows/regions) or that are not finite.
+    let pct = |x: f64| {
+        if x.is_finite() { format!("{:.2}%", x * 100.0) } else { "-".to_string() }
+    };
 
     let spec = &snap.spec;
     let mut out = String::new();
@@ -164,16 +251,26 @@ fn monitor_report(args: &MonitorArgs) -> Result<String, CliError> {
     let mut warns = 0usize;
     for w in &snap.windows {
         let start = w.id * spec.window_len;
+        let rows_in_window: u64 =
+            (0..spec.n_regions).map(|r| w.region_rows(spec.n_groups, r)).sum();
         let skew = w.occupancy_skew(spec);
+        // A window with no classified rows has no occupancy to skew —
+        // render `-` rather than a misleading 0.0000 (or a NaN from a
+        // degenerate baseline).
+        let skew_cell = if rows_in_window == 0 || !skew.is_finite() {
+            "-".to_string()
+        } else {
+            format!("{skew:.4}")
+        };
         let _ = writeln!(
             out,
-            "\nwindow {} [rows {}..{}): observed {}, rejected {}, occupancy skew {:.4}",
+            "\nwindow {} [rows {}..{}): observed {}, rejected {}, occupancy skew {}",
             w.id,
             start,
             start + spec.window_len,
             w.observed,
             w.rejected,
-            skew
+            skew_cell
         );
         let _ = writeln!(
             out,
@@ -192,7 +289,7 @@ fn monitor_report(args: &MonitorArgs) -> Result<String, CliError> {
             );
             warns += 1;
         }
-        if skew > args.warn_skew {
+        if rows_in_window > 0 && skew.is_finite() && skew > args.warn_skew {
             let _ = writeln!(
                 out,
                 "  WARN window {}: occupancy skew {:.4} exceeds {:.4} — serving \
@@ -200,6 +297,9 @@ fn monitor_report(args: &MonitorArgs) -> Result<String, CliError> {
                 w.id, skew, args.warn_skew
             );
             warns += 1;
+        }
+        if rows_in_window == 0 {
+            let _ = writeln!(out, "  (no rows observed in this window)");
         }
         for r in 0..spec.n_regions {
             if w.region_rows(spec.n_groups, r) == 0 {
@@ -212,16 +312,16 @@ fn monitor_report(args: &MonitorArgs) -> Result<String, CliError> {
             };
             let _ = writeln!(
                 out,
-                "  C{:<7} {:>6} {:>7.2}% {:>7.2}% {:>6.2}% {:>9} {:>9}",
+                "  C{:<7} {:>6} {:>8} {:>8} {:>7} {:>9} {:>9}",
                 r + 1,
                 w.region_rows(spec.n_groups, r),
-                dp * 100.0,
-                spec.baseline_dp[r] * 100.0,
-                shift * 100.0,
+                pct(dp),
+                pct(spec.baseline_dp[r]),
+                pct(shift),
                 quantile(0.5),
                 quantile(0.9)
             );
-            if dp > args.warn_dp {
+            if dp.is_finite() && dp > args.warn_dp {
                 let _ = writeln!(
                     out,
                     "  WARN window {} region C{}: live demographic-parity gap {:.2}% \
@@ -234,7 +334,7 @@ fn monitor_report(args: &MonitorArgs) -> Result<String, CliError> {
                 );
                 warns += 1;
             }
-            if shift > args.warn_shift {
+            if shift.is_finite() && shift > args.warn_shift {
                 let _ = writeln!(
                     out,
                     "  WARN window {} region C{}: group-mix shift {:.2}% exceeds {:.2}%",

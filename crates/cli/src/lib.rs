@@ -99,6 +99,10 @@ USAGE:
   falcc info    --model <model.json>
   falcc run     [--seed <u64>] [--scale <0..1>] [--threads <n>]
                 [--inject <spec>] [--no-compile] [--monitor-out <jsonl>]
+  falcc fit     --out <model.json> [--checkpoint-dir <dir>] [--resume]
+                [--seed <u64>] [--rows <n>] [--threads <n>]
+                [--retry-budget <n>] [--crash-at <ordinal>:<phase>]
+                [--inject <spec>]
   falcc monitor --input <jsonl> [--warn-dp <gap>] [--warn-skew <score>]
                 [--warn-shift <tv>] [--warn-reject <rate>] [--exposition]
 
@@ -114,9 +118,18 @@ pipeline, e.g. `falcc run --profile --trace-out trace.jsonl`.
 --inject arms the deterministic fault harness for the demo run: a comma-
 separated list of pool:<i> (quarantine pool member i), trial:<i> (fail
 tuning trial i), cluster:<c> (empty region c), drop:<c>/<g> (remove group
-g from region c), row:<i> (poison online batch row i) — e.g.
-`falcc run --inject pool:1,cluster:0 --profile` shows graceful
+g from region c), row:<i> (poison online batch row i), io:<a> (fail
+checkpoint-journal I/O attempt a, absorbed by the bounded retry layer) —
+e.g. `falcc run --inject pool:1,cluster:0 --profile` shows graceful
 degradation plus its counters.
+
+`falcc fit` is the crash-recovery workbench: it fits the offline phase on
+synthetic data and, with --checkpoint-dir, journals phase-granular
+checkpoints (atomic records + a chained, fingerprinted manifest). After a
+crash — or a hard kill injected via --crash-at <ordinal>:<phase>, phase
+one of before-write|after-record|mid-manifest|after-commit — re-running
+with --resume picks up after the last valid checkpoint and writes a model
+snapshot byte-identical to an uninterrupted run, at any --threads value.
 
 CSV format: header row, numeric cells, binary label in the last column.
 Sensitive columns must be 0/1-coded.

@@ -1,0 +1,212 @@
+//! Kill-point chaos harness: re-execs the `falcc` binary, hard-kills it
+//! at every crash point of the checkpoint journal, resumes, and asserts
+//! the resumed model snapshot is byte-identical to an uninterrupted run.
+//!
+//! The sweep covers the full [`CrashPoint::catalog`]: every checkpoint
+//! commit ordinal crossed with every [`CrashPhase`] (before the record
+//! write, after it, mid-manifest-append with a torn half-line synced to
+//! disk, and after the commit). CI runs the suite at 1, 2, and 8 worker
+//! threads via `FALCC_TEST_THREADS`; the crashed and resumed processes
+//! deliberately use that thread count while the reference run uses one
+//! thread, so the sweep re-proves the determinism contract too.
+
+use falcc::CrashPoint;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+/// Checkpoint commits `falcc fit` performs with its fixed test-scale
+/// profile (8 pool members + pool training + proxy + projection +
+/// k-estimation + clustering + gap fill + 4 regions + assessment). The
+/// sweep asserts this against the journal, so a pipeline change that
+/// shifts the commit count fails loudly instead of silently shrinking
+/// the kill-point catalog.
+const COMMITS: u64 = 19;
+
+/// Synthetic dataset size for every run in this suite — small keeps the
+/// 2 × catalog process spawns fast, large enough for 4 stable regions.
+const ROWS: &str = "400";
+
+fn falcc(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_falcc"))
+        .args(args)
+        .output()
+        .expect("spawn falcc binary")
+}
+
+fn assert_ok(out: &Output, what: &str) {
+    assert!(
+        out.status.success(),
+        "{what} failed with {:?}:\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// Thread count for crashed/resumed runs. CI pins 1, 2, and 8.
+fn threads_under_test() -> String {
+    std::env::var("FALCC_TEST_THREADS").unwrap_or_else(|_| "2".to_string())
+}
+
+fn path_str(p: &Path) -> &str {
+    p.to_str().expect("utf-8 path")
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("falcc_chaos").join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+/// The uninterrupted single-threaded reference snapshot all resumed runs
+/// must reproduce byte for byte.
+fn reference_snapshot(dir: &Path) -> Vec<u8> {
+    let out = dir.join("reference.json");
+    let run = falcc(&[
+        "fit", "--out", path_str(&out), "--rows", ROWS, "--threads", "1", "--quiet",
+    ]);
+    assert_ok(&run, "reference fit");
+    std::fs::read(&out).expect("read reference snapshot")
+}
+
+#[test]
+fn kill_point_sweep_resumes_bit_identically() {
+    let dir = fresh_dir("sweep");
+    let threads = threads_under_test();
+    let reference = reference_snapshot(&dir);
+
+    // An uninterrupted journaled run pins the commit count the catalog
+    // is derived from (and must itself match the journal-less reference).
+    let full_out = dir.join("full.json");
+    let full_ck = dir.join("ck_full");
+    let run = falcc(&[
+        "fit", "--out", path_str(&full_out), "--checkpoint-dir", path_str(&full_ck),
+        "--rows", ROWS, "--threads", &threads, "--quiet",
+    ]);
+    assert_ok(&run, "uninterrupted journaled fit");
+    assert_eq!(
+        std::fs::read(&full_out).expect("read"),
+        reference,
+        "journaled run must match the journal-less reference"
+    );
+    let manifest = std::fs::read_to_string(full_ck.join(falcc::checkpoint::MANIFEST))
+        .expect("read manifest");
+    assert_eq!(
+        manifest.lines().count() as u64,
+        COMMITS,
+        "commit count changed — update COMMITS so the sweep stays exhaustive"
+    );
+
+    for point in CrashPoint::catalog(COMMITS) {
+        let tag = format!("{}_{}", point.ordinal, point.phase.name());
+        let ck = dir.join(format!("ck_{tag}"));
+        let out = dir.join(format!("model_{tag}.json"));
+        let crash_at = format!("{}:{}", point.ordinal, point.phase.name());
+
+        let crashed = falcc(&[
+            "fit", "--out", path_str(&out), "--checkpoint-dir", path_str(&ck),
+            "--rows", ROWS, "--threads", &threads, "--quiet", "--crash-at", &crash_at,
+        ]);
+        assert!(
+            !crashed.status.success(),
+            "crash point {crash_at}: the armed kill must abort the process"
+        );
+        assert!(
+            !out.exists(),
+            "crash point {crash_at}: no model snapshot may appear from a killed run"
+        );
+
+        let resumed = falcc(&[
+            "fit", "--out", path_str(&out), "--checkpoint-dir", path_str(&ck),
+            "--rows", ROWS, "--threads", &threads, "--quiet", "--resume",
+        ]);
+        assert_ok(&resumed, &format!("resume after crash at {crash_at}"));
+        assert_eq!(
+            std::fs::read(&out).expect("read resumed snapshot"),
+            reference,
+            "crash point {crash_at}: resumed snapshot must be byte-identical"
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn transient_io_faults_are_retried_and_exhaustion_is_a_clean_failure() {
+    let dir = fresh_dir("retries");
+    let reference = reference_snapshot(&dir);
+
+    // Scattered transient failures: absorbed by the bounded retry layer,
+    // model unchanged.
+    let out = dir.join("retried.json");
+    let ck = dir.join("ck_retried");
+    let run = falcc(&[
+        "fit", "--out", path_str(&out), "--checkpoint-dir", path_str(&ck),
+        "--rows", ROWS, "--threads", "1", "--quiet", "--inject", "io:0,io:3,io:7",
+    ]);
+    assert_ok(&run, "fit with scattered transient I/O faults");
+    assert_eq!(
+        std::fs::read(&out).expect("read"),
+        reference,
+        "absorbed transient faults must not change the model"
+    );
+
+    // Four consecutive failures of one operation exceed the budget of 3:
+    // a typed runtime error (exit 1), not a panic or partial snapshot.
+    let out = dir.join("exhausted.json");
+    let ck = dir.join("ck_exhausted");
+    let run = falcc(&[
+        "fit", "--out", path_str(&out), "--checkpoint-dir", path_str(&ck),
+        "--rows", ROWS, "--threads", "1", "--quiet", "--inject", "io:0,io:1,io:2,io:3",
+    ]);
+    assert_eq!(run.status.code(), Some(1), "retry exhaustion is a runtime failure");
+    let stderr = String::from_utf8_lossy(&run.stderr);
+    assert!(
+        stderr.contains("transient I/O failure persisted through 3 retries"),
+        "stderr must carry the typed exhaustion message, got:\n{stderr}"
+    );
+    assert!(!out.exists(), "no model snapshot after an exhausted fit");
+
+    // A raised budget absorbs the same burst.
+    let run = falcc(&[
+        "fit", "--out", path_str(&out), "--checkpoint-dir", path_str(&ck),
+        "--rows", ROWS, "--threads", "1", "--quiet", "--retry-budget", "6",
+        "--inject", "io:0,io:1,io:2,io:3",
+    ]);
+    assert_ok(&run, "fit with raised retry budget");
+    assert_eq!(std::fs::read(&out).expect("read"), reference);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_rejects_a_stale_generation_journal() {
+    let dir = fresh_dir("stale");
+    let ck = dir.join("ck");
+    let out = dir.join("model.json");
+    let run = falcc(&[
+        "fit", "--out", path_str(&out), "--checkpoint-dir", path_str(&ck),
+        "--rows", ROWS, "--threads", "1", "--quiet", "--seed", "11",
+    ]);
+    assert_ok(&run, "seed-11 journaled fit");
+
+    // Same journal, different run config: every manifest entry carries a
+    // foreign fingerprint, so resuming must fail typed instead of reviving
+    // checkpoints from another run.
+    let run = falcc(&[
+        "fit", "--out", path_str(&out), "--checkpoint-dir", path_str(&ck),
+        "--rows", ROWS, "--threads", "1", "--quiet", "--seed", "12", "--resume",
+    ]);
+    assert_eq!(run.status.code(), Some(1), "stale-generation resume is a runtime failure");
+    let stderr = String::from_utf8_lossy(&run.stderr);
+    assert!(stderr.contains("belongs to a different run"), "{stderr}");
+
+    // Without --resume the same directory is wiped and refitted cleanly.
+    let run = falcc(&[
+        "fit", "--out", path_str(&out), "--checkpoint-dir", path_str(&ck),
+        "--rows", ROWS, "--threads", "1", "--quiet", "--seed", "12",
+    ]);
+    assert_ok(&run, "fresh fit over a stale journal");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,5 +1,6 @@
 //! FALCC pipeline configuration.
 
+use crate::checkpoint::CheckpointSpec;
 use crate::faults::FaultPlan;
 use crate::proxy::ProxyStrategy;
 use falcc_metrics::{FairnessMetric, LossConfig};
@@ -55,6 +56,16 @@ pub struct FalccConfig {
     /// Deterministic fault-injection schedule (testing only — the default
     /// empty plan injects nothing). See [`crate::faults`].
     pub faults: FaultPlan,
+    /// When set, [`fit`] journals phase-granular checkpoints into the
+    /// given directory and — with [`CheckpointSpec::resume`] — picks up
+    /// after the last valid checkpoint, producing a model bit-identical
+    /// to an uninterrupted run at any thread count. `None` (the default)
+    /// disables journaling; like [`Self::threads`] and [`Self::faults`]
+    /// it never changes the fitted model, so it is excluded from the
+    /// run-config fingerprint. See [`crate::checkpoint`].
+    ///
+    /// [`fit`]: crate::FalccModel::fit
+    pub checkpoint: Option<CheckpointSpec>,
 }
 
 impl Default for FalccConfig {
@@ -70,6 +81,7 @@ impl Default for FalccConfig {
             threads: 0,
             min_pool_size: 1,
             faults: FaultPlan::default(),
+            checkpoint: None,
         }
     }
 }
@@ -111,6 +123,13 @@ impl FalccConfig {
             return Err(crate::FalccError::InvalidConfig {
                 detail: "min_pool_size must be at least 1".into(),
             });
+        }
+        if let Some(ck) = &self.checkpoint {
+            if ck.dir.as_os_str().is_empty() {
+                return Err(crate::FalccError::InvalidConfig {
+                    detail: "checkpoint directory must not be empty".into(),
+                });
+            }
         }
         Ok(())
     }
@@ -154,5 +173,15 @@ mod tests {
     fn default_injects_no_faults() {
         assert!(FalccConfig::default().faults.is_empty());
         assert_eq!(FalccConfig::default().min_pool_size, 1);
+    }
+
+    #[test]
+    fn default_has_no_checkpointing_and_empty_dir_is_rejected() {
+        assert!(FalccConfig::default().checkpoint.is_none());
+        let mut cfg = FalccConfig::default();
+        cfg.checkpoint = Some(CheckpointSpec::new(""));
+        assert!(cfg.validate().is_err());
+        cfg.checkpoint = Some(CheckpointSpec::new("/tmp/ck"));
+        assert!(cfg.validate().is_ok());
     }
 }

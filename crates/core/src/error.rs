@@ -51,6 +51,37 @@ pub enum FalccError {
         /// Version this build reads and writes.
         expected: u32,
     },
+    /// An atomic save could not publish its temp file because the rename
+    /// would cross filesystems (the temp file and target must share one).
+    CrossDeviceRename {
+        /// Target path of the failed publish.
+        path: String,
+    },
+    /// A checkpoint journal failed an integrity check: torn record, bad
+    /// manifest chain, unreadable envelope, or checksum mismatch. Resume
+    /// falls back to the last valid prefix; this error surfaces only when
+    /// the journal cannot be used at all.
+    CheckpointCorrupt {
+        /// What exactly failed to verify.
+        detail: String,
+    },
+    /// A checkpoint journal was written by a run with a different config
+    /// fingerprint (different config, seed, or input data) — resuming
+    /// from it would splice incompatible generations together.
+    CheckpointStale {
+        /// Fingerprint recorded in the journal (hex).
+        found: String,
+        /// Fingerprint of the current run (hex).
+        expected: String,
+    },
+    /// The bounded retry layer exhausted its budget on transient I/O
+    /// failures while journaling a checkpoint.
+    RetriesExhausted {
+        /// The operation that kept failing.
+        op: String,
+        /// Retries attempted before giving up.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for FalccError {
@@ -75,6 +106,23 @@ impl fmt::Display for FalccError {
             Self::SnapshotVersionSkew { found, expected } => write!(
                 f,
                 "snapshot format v{found} unsupported (this build reads v{expected})"
+            ),
+            Self::CrossDeviceRename { path } => write!(
+                f,
+                "cannot publish {path:?} atomically: temp file and target are on \
+                 different filesystems"
+            ),
+            Self::CheckpointCorrupt { detail } => {
+                write!(f, "checkpoint journal corrupt: {detail}")
+            }
+            Self::CheckpointStale { found, expected } => write!(
+                f,
+                "checkpoint journal belongs to a different run: fingerprint {found} \
+                 recorded, this run is {expected}"
+            ),
+            Self::RetriesExhausted { op, attempts } => write!(
+                f,
+                "transient I/O failure persisted through {attempts} retries during {op}"
             ),
         }
     }
@@ -159,6 +207,24 @@ mod tests {
             .contains("checksum"));
         let msg = FalccError::SnapshotVersionSkew { found: 9, expected: 2 }.to_string();
         assert!(msg.contains("v9") && msg.contains("v2"), "{msg}");
+    }
+
+    #[test]
+    fn checkpoint_variants_format() {
+        let msg = FalccError::CrossDeviceRename { path: "out/m.json".into() }.to_string();
+        assert!(msg.contains("out/m.json") && msg.contains("filesystems"), "{msg}");
+        assert!(FalccError::CheckpointCorrupt { detail: "torn manifest".into() }
+            .to_string()
+            .contains("torn manifest"));
+        let msg = FalccError::CheckpointStale {
+            found: "00aa".into(),
+            expected: "00bb".into(),
+        }
+        .to_string();
+        assert!(msg.contains("00aa") && msg.contains("00bb"), "{msg}");
+        let msg = FalccError::RetriesExhausted { op: "manifest append".into(), attempts: 3 }
+            .to_string();
+        assert!(msg.contains("manifest append") && msg.contains('3'), "{msg}");
     }
 
     #[test]

@@ -46,6 +46,72 @@ pub enum FaultSite {
     /// Poisoned online sample: the batch row behaves as if it carried a
     /// non-finite feature. Ordinal: the row index within the batch.
     NonFiniteRow,
+    /// Transient checkpoint-journal I/O failure: the write attempt fails
+    /// once and is retried by the bounded retry layer. Ordinal: the
+    /// journal's global I/O-attempt counter (arm consecutive ordinals to
+    /// exhaust the retry budget).
+    TransientIo,
+}
+
+/// Where within one checkpoint commit the process is hard-killed by an
+/// armed [`CrashPoint`]. The four phases cover every distinct on-disk
+/// state a crash can leave behind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CrashPhase {
+    /// Before anything is written: the commit left no trace.
+    BeforeWrite,
+    /// After the record file is durable but before its manifest entry —
+    /// an orphaned record the manifest never references.
+    AfterRecord,
+    /// Mid-manifest-append: half the entry line reached the disk (a torn
+    /// line the resume scan must detect and drop).
+    MidManifest,
+    /// After the commit completed (record and manifest entry durable).
+    AfterCommit,
+}
+
+impl CrashPhase {
+    /// Every phase, in commit order.
+    pub const ALL: [Self; 4] =
+        [Self::BeforeWrite, Self::AfterRecord, Self::MidManifest, Self::AfterCommit];
+
+    /// The kebab-case name used by `falcc fit --crash-at`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::BeforeWrite => "before-write",
+            Self::AfterRecord => "after-record",
+            Self::MidManifest => "mid-manifest",
+            Self::AfterCommit => "after-commit",
+        }
+    }
+
+    /// Parses a [`Self::name`] string.
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|p| p.name() == s)
+    }
+}
+
+/// A crash site for the chaos harness: the checkpoint journal aborts the
+/// process (simulating `kill -9`) at `phase` of its `ordinal`-th commit.
+/// Commits are counted in pipeline order — the same order at every thread
+/// count — so a crash point pins an exact on-disk journal state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPoint {
+    /// Which commit (0-based, in pipeline commit order).
+    pub ordinal: u64,
+    /// Where within that commit.
+    pub phase: CrashPhase,
+}
+
+impl CrashPoint {
+    /// The full kill-point catalog for a run known to perform `commits`
+    /// checkpoint commits: every commit ordinal crossed with every
+    /// [`CrashPhase`]. The chaos harness sweeps this exhaustively.
+    pub fn catalog(commits: u64) -> Vec<Self> {
+        (0..commits)
+            .flat_map(|ordinal| CrashPhase::ALL.map(|phase| Self { ordinal, phase }))
+            .collect()
+    }
 }
 
 /// A deterministic schedule of injected faults. See the module docs.
@@ -62,6 +128,8 @@ pub struct FaultPlan {
     snapshot_flip: Option<usize>,
     /// Length to truncate a serialised snapshot to.
     snapshot_truncate: Option<usize>,
+    /// Hard-kill site for the checkpoint chaos harness.
+    crash: Option<CrashPoint>,
 }
 
 impl FaultPlan {
@@ -71,6 +139,7 @@ impl FaultPlan {
             && self.group_drops.is_empty()
             && self.snapshot_flip.is_none()
             && self.snapshot_truncate.is_none()
+            && self.crash.is_none()
     }
 
     /// Arms a training failure for pool member `index`.
@@ -116,6 +185,28 @@ impl FaultPlan {
     pub fn truncate_snapshot(&mut self, len: usize) -> &mut Self {
         self.snapshot_truncate = Some(len);
         self
+    }
+
+    /// Arms a transient failure of checkpoint-journal I/O attempt
+    /// `ordinal` (the journal's global attempt counter). The bounded
+    /// retry layer absorbs isolated failures; arming enough consecutive
+    /// ordinals exhausts the budget into
+    /// [`crate::FalccError::RetriesExhausted`].
+    pub fn fail_io_attempt(&mut self, ordinal: u64) -> &mut Self {
+        self.armed.insert((FaultSite::TransientIo, ordinal));
+        self
+    }
+
+    /// Arms a hard process kill at `phase` of checkpoint commit
+    /// `ordinal` — the chaos harness's kill switch.
+    pub fn crash_at(&mut self, ordinal: u64, phase: CrashPhase) -> &mut Self {
+        self.crash = Some(CrashPoint { ordinal, phase });
+        self
+    }
+
+    /// The armed crash point, if any.
+    pub fn crash_point(&self) -> Option<CrashPoint> {
+        self.crash
     }
 
     /// A pseudo-random plan derived entirely from `seed`: arms one fault
@@ -179,19 +270,39 @@ impl FaultPlan {
     /// serialised snapshot in place. No-op when neither is armed.
     pub fn mangle_snapshot(&self, bytes: &mut Vec<u8>) {
         if let Some(off) = self.snapshot_flip {
-            if !bytes.is_empty() {
-                let i = off % bytes.len();
-                bytes[i] ^= 0x01;
+            if flip_byte(bytes, off) {
                 falcc_telemetry::counters::FAULTS_INJECTED.incr();
             }
         }
         if let Some(len) = self.snapshot_truncate {
-            if len < bytes.len() {
-                bytes.truncate(len);
+            if truncate_bytes(bytes, len) {
                 falcc_telemetry::counters::FAULTS_INJECTED.incr();
             }
         }
     }
+}
+
+/// XOR-flips one bit of byte `offset % len`, returning whether anything
+/// changed. The shared corruption primitive behind [`FaultPlan::
+/// mangle_snapshot`] and the snapshot/journal corruption matrices — one
+/// definition so every suite damages bytes the same way.
+pub fn flip_byte(bytes: &mut [u8], offset: usize) -> bool {
+    if bytes.is_empty() {
+        return false;
+    }
+    let i = offset % bytes.len();
+    bytes[i] ^= 0x01;
+    true
+}
+
+/// Truncates `bytes` to `len`, returning whether anything was cut. The
+/// counterpart of [`flip_byte`] for torn-write corruption.
+pub fn truncate_bytes(bytes: &mut Vec<u8>, len: usize) -> bool {
+    if len >= bytes.len() {
+        return false;
+    }
+    bytes.truncate(len);
+    true
 }
 
 #[cfg(test)]
@@ -207,6 +318,7 @@ mod tests {
             FaultSite::TuningTrial,
             FaultSite::ClusterEmpty,
             FaultSite::NonFiniteRow,
+            FaultSite::TransientIo,
         ] {
             for ordinal in 0..8 {
                 assert!(!plan.fires(site, ordinal));
@@ -259,6 +371,47 @@ mod tests {
         let mut bytes = vec![7u8; 8];
         plan.mangle_snapshot(&mut bytes);
         assert_eq!(bytes.len(), 8);
+    }
+
+    #[test]
+    fn transient_io_and_crash_points_arm_like_other_sites() {
+        let mut plan = FaultPlan::default();
+        plan.fail_io_attempt(3).crash_at(2, CrashPhase::AfterRecord);
+        assert!(!plan.is_empty());
+        assert!(plan.fires(FaultSite::TransientIo, 3));
+        assert!(!plan.fires(FaultSite::TransientIo, 4));
+        assert_eq!(
+            plan.crash_point(),
+            Some(CrashPoint { ordinal: 2, phase: CrashPhase::AfterRecord })
+        );
+        // A crash point alone makes the plan non-empty.
+        let mut plan = FaultPlan::default();
+        plan.crash_at(0, CrashPhase::BeforeWrite);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn crash_phase_names_round_trip_and_catalog_is_complete() {
+        for phase in CrashPhase::ALL {
+            assert_eq!(CrashPhase::parse(phase.name()), Some(phase));
+        }
+        assert_eq!(CrashPhase::parse("nonsense"), None);
+        let catalog = CrashPoint::catalog(3);
+        assert_eq!(catalog.len(), 12, "3 commits x 4 phases");
+        assert_eq!(catalog[0], CrashPoint { ordinal: 0, phase: CrashPhase::BeforeWrite });
+        assert_eq!(catalog[11], CrashPoint { ordinal: 2, phase: CrashPhase::AfterCommit });
+    }
+
+    #[test]
+    fn corruption_primitives_report_effect() {
+        let mut bytes = vec![0u8; 4];
+        assert!(flip_byte(&mut bytes, 6));
+        assert_eq!(bytes, vec![0, 0, 1, 0]);
+        assert!(!flip_byte(&mut [], 0));
+        let mut bytes = vec![7u8; 4];
+        assert!(truncate_bytes(&mut bytes, 2));
+        assert_eq!(bytes.len(), 2);
+        assert!(!truncate_bytes(&mut bytes, 2));
     }
 
     #[test]

@@ -59,6 +59,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod baseline;
+pub mod checkpoint;
 pub mod compile;
 pub mod config;
 pub mod error;
@@ -71,10 +72,11 @@ pub mod proxy;
 pub mod tuning;
 
 pub use baseline::MonitorBaseline;
+pub use checkpoint::{CheckpointJournal, CheckpointSpec};
 pub use compile::CompiledModel;
 pub use config::{ClusterSpec, FalccConfig};
 pub use error::{FalccError, RowFault};
-pub use faults::{FaultPlan, FaultSite};
+pub use faults::{CrashPhase, CrashPoint, FaultPlan, FaultSite};
 pub use framework::FairClassifier;
 pub use offline::FalccModel;
 pub use persist::SavedFalccModel;

@@ -2,6 +2,7 @@
 //! model assessment (paper §3.3–§3.6).
 
 use crate::baseline::MonitorBaseline;
+use crate::checkpoint::{fingerprint, CheckpointJournal, ProjectionDigest, Stage};
 use crate::config::{ClusterSpec, FalccConfig};
 use crate::error::FalccError;
 use crate::faults::{FaultPlan, FaultSite};
@@ -9,7 +10,37 @@ use crate::proxy::ProxyOutcome;
 use falcc_clustering::{elbow_k, log_means, KEstimateConfig, KdTree, KMeans, KMeansModel};
 use falcc_dataset::{Dataset, GroupId};
 use falcc_metrics::LossConfig;
-use falcc_models::{enumerate_combinations, parallel_map, predict_dataset, ModelPool};
+use falcc_models::{
+    enumerate_combinations, parallel_map, predict_dataset, GridCheckpoint, ModelPool, ModelSpec,
+    TrainedModel,
+};
+
+/// Adapts the checkpoint journal to the models crate's per-member
+/// [`GridCheckpoint`] hook. `store` is infallible by signature, so journal
+/// I/O errors are buffered here and surfaced once training returns.
+struct JournalGrid<'a> {
+    journal: &'a mut CheckpointJournal,
+    error: Option<FalccError>,
+}
+
+impl GridCheckpoint for JournalGrid<'_> {
+    fn load(&mut self, slot: usize) -> Option<ModelSpec> {
+        self.journal.fetch(Stage::PoolMember(slot))
+    }
+
+    fn store(&mut self, slot: usize, spec: &ModelSpec) {
+        if self.error.is_none() {
+            if let Err(e) = self.journal.commit(Stage::PoolMember(slot), spec) {
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
+/// One region's assessment outcome, as journaled per region and fed to
+/// fallback resolution: the winning combination (`None` for a degenerate
+/// region) plus the per-group presence mask.
+type RegionAssessment = (Option<Vec<usize>>, Vec<bool>);
 
 /// A fitted FALCC model: everything the online phase needs.
 ///
@@ -64,14 +95,71 @@ impl FalccModel {
     ) -> Result<Self, FalccError> {
         config.validate()?;
         let _sp = falcc_telemetry::span("offline.fit");
+        // Crash consistency: with a checkpoint spec configured, every
+        // phase journals its result and a resume picks up after the last
+        // valid checkpoint. The journal is advisory state only — each
+        // phase below either fetches a bit-exact prior result or computes
+        // it from scratch, so the fitted model is identical with or
+        // without a journal, interrupted or not, at any thread count.
+        let mut journal = match &config.checkpoint {
+            Some(spec) => {
+                let fp = fingerprint(config, train, validation);
+                Some(CheckpointJournal::open(spec, fp, &config.faults)?)
+            }
+            None => None,
+        };
         let mut pool_cfg = config.pool;
         pool_cfg.seed ^= config.seed;
         pool_cfg.threads = config.threads;
         let pool = {
             let _pool_sp = falcc_telemetry::span("offline.pool_training");
-            ModelPool::train_diverse(train, validation, &pool_cfg)
+            match journal.as_mut() {
+                None => ModelPool::train_diverse(train, validation, &pool_cfg),
+                Some(journal) => {
+                    Self::train_pool_checkpointed(train, validation, &pool_cfg, journal)?
+                }
+            }
         };
-        Self::fit_with_pool(validation, pool, config)
+        Self::fit_with_pool_inner(validation, pool, config, journal.as_mut())
+    }
+
+    /// Diverse pool training against a journal: per-member
+    /// sub-checkpoints via [`JournalGrid`], plus a [`Stage::PoolTraining`]
+    /// checkpoint of the selected pool that lets resumes skip diversity
+    /// selection entirely.
+    fn train_pool_checkpointed(
+        train: &Dataset,
+        validation: &Dataset,
+        pool_cfg: &falcc_models::PoolConfig,
+        journal: &mut CheckpointJournal,
+    ) -> Result<ModelPool, FalccError> {
+        if let Some(saved) = journal.fetch::<Vec<(ModelSpec, Option<GroupId>)>>(Stage::PoolTraining)
+        {
+            return Ok(ModelPool::from_models(
+                saved
+                    .into_iter()
+                    .map(|(spec, group)| TrainedModel { model: spec.into_classifier(), group })
+                    .collect(),
+            ));
+        }
+        let mut hook = JournalGrid { journal, error: None };
+        let pool = ModelPool::train_diverse_checkpointed(train, validation, pool_cfg, &mut hook);
+        if let Some(e) = hook.error.take() {
+            return Err(e);
+        }
+        // Every built-in trainer exposes a spec; a pool member without one
+        // cannot appear here (custom pools enter via `fit_with_pool`,
+        // which does not journal), so the selected pool is always
+        // checkpointable.
+        let specs: Vec<(ModelSpec, Option<GroupId>)> = pool
+            .models
+            .iter()
+            .filter_map(|m| m.model.to_spec().map(|s| (s, m.group)))
+            .collect();
+        if specs.len() == pool.models.len() {
+            journal.commit(Stage::PoolTraining, &specs)?;
+        }
+        Ok(pool)
     }
 
     /// Runs the offline phase with an externally provided model pool —
@@ -82,8 +170,21 @@ impl FalccModel {
     /// Same conditions as [`Self::fit`].
     pub fn fit_with_pool(
         validation: &Dataset,
+        pool: ModelPool,
+        config: &FalccConfig,
+    ) -> Result<Self, FalccError> {
+        // External pools may contain custom classifiers with no
+        // serialisable spec, and the run fingerprint cannot cover them —
+        // so this entry point never journals. Checkpointing lives on
+        // [`Self::fit`].
+        Self::fit_with_pool_inner(validation, pool, config, None)
+    }
+
+    fn fit_with_pool_inner(
+        validation: &Dataset,
         mut pool: ModelPool,
         config: &FalccConfig,
+        mut journal: Option<&mut CheckpointJournal>,
     ) -> Result<Self, FalccError> {
         config.validate()?;
         if pool.is_empty() {
@@ -134,31 +235,76 @@ impl FalccModel {
         // clustering.
         let proxy = {
             let _proxy_sp = falcc_telemetry::span("offline.proxy");
-            config.proxy.apply(validation)
+            match journal.as_deref().and_then(|j| j.fetch::<ProxyOutcome>(Stage::Proxy)) {
+                Some(resumed) => resumed,
+                None => {
+                    let fresh = config.proxy.apply(validation);
+                    if let Some(j) = journal.as_deref_mut() {
+                        j.commit(Stage::Proxy, &fresh)?;
+                    }
+                    fresh
+                }
+            }
         };
 
-        // §3.5 clustering of the projected validation set.
+        // §3.5 clustering of the projected validation set. Projection is
+        // cheap, so it is always recomputed; its journal record is a
+        // digest-only *verification* checkpoint guarding against a
+        // fingerprint collision feeding a resumed run different data.
         let projected = {
             let _proj_sp = falcc_telemetry::span("offline.projection");
             validation.project(&proxy.attrs, proxy.weights.as_deref())
         };
+        if let Some(j) = journal.as_deref_mut() {
+            let digest = ProjectionDigest::of(projected.n_rows, projected.n_cols, &projected.data);
+            match j.fetch::<ProjectionDigest>(Stage::Projection) {
+                Some(resumed) if resumed != digest => {
+                    return Err(FalccError::CheckpointCorrupt {
+                        detail: format!(
+                            "projection digest mismatch: journal has {}, this run computed {}",
+                            resumed.hash, digest.hash
+                        ),
+                    });
+                }
+                Some(_) => {}
+                None => j.commit(Stage::Projection, &digest)?,
+            }
+        }
         let k = {
             let _k_sp = falcc_telemetry::span("offline.k_estimation");
-            match config.clustering {
-                ClusterSpec::FixedK(k) => k,
-                ClusterSpec::LogMeans => {
-                    let est = KEstimateConfig::for_rows(projected.n_rows, config.seed);
-                    log_means(&projected, &est)
-                }
-                ClusterSpec::Elbow => {
-                    let est = KEstimateConfig::for_rows(projected.n_rows, config.seed);
-                    elbow_k(&projected, &est)
+            match journal.as_deref().and_then(|j| j.fetch::<usize>(Stage::KEstimation)) {
+                Some(resumed) => resumed,
+                None => {
+                    let fresh = match config.clustering {
+                        ClusterSpec::FixedK(k) => k,
+                        ClusterSpec::LogMeans => {
+                            let est = KEstimateConfig::for_rows(projected.n_rows, config.seed);
+                            log_means(&projected, &est)
+                        }
+                        ClusterSpec::Elbow => {
+                            let est = KEstimateConfig::for_rows(projected.n_rows, config.seed);
+                            elbow_k(&projected, &est)
+                        }
+                    };
+                    if let Some(j) = journal.as_deref_mut() {
+                        j.commit(Stage::KEstimation, &fresh)?;
+                    }
+                    fresh
                 }
             }
         };
         let kmeans = {
             let _cluster_sp = falcc_telemetry::span_labeled("offline.clustering", format!("k={k}"));
-            KMeans::new(k, config.seed).fit(&projected)
+            match journal.as_deref().and_then(|j| j.fetch::<KMeansModel>(Stage::Clustering)) {
+                Some(resumed) => resumed,
+                None => {
+                    let fresh = KMeans::new(k, config.seed).fit(&projected);
+                    if let Some(j) = journal.as_deref_mut() {
+                        j.commit(Stage::Clustering, &fresh)?;
+                    }
+                    fresh
+                }
+            }
         };
         falcc_telemetry::gauges::OFFLINE_CLUSTERS.set(kmeans.k() as u64);
         falcc_telemetry::gauges::OFFLINE_POOL_SIZE.set(pool.len() as u64);
@@ -168,7 +314,19 @@ impl FalccModel {
         let (tree, mut assessment_sets) = {
             let _gap_sp = falcc_telemetry::span("offline.gap_fill");
             let tree = KdTree::build(projected);
-            let sets = gap_fill(&kmeans, &tree, validation, n_groups, config.gap_fill_k);
+            let sets = match
+                journal.as_deref().and_then(|j| j.fetch::<Vec<Vec<usize>>>(Stage::GapFill))
+            {
+                Some(resumed) => resumed,
+                None => {
+                    let fresh =
+                        gap_fill(&kmeans, &tree, validation, n_groups, config.gap_fill_k);
+                    if let Some(j) = journal.as_deref_mut() {
+                        j.commit(Stage::GapFill, &fresh)?;
+                    }
+                    fresh
+                }
+            };
             (tree, sets)
         };
 
@@ -232,8 +390,7 @@ impl FalccModel {
         // assessment set actually contained; degenerate clusters (empty
         // set, or no finitely-scored candidate) yield no combination and
         // are healed by the fallback chain below.
-        let assessed: Vec<(Option<Vec<usize>>, Vec<bool>)> =
-            parallel_map(&assessment_sets, config.threads, |c, members| {
+        let assess_region = |c: usize, members: &Vec<usize>| -> (Option<Vec<usize>>, Vec<bool>) {
             let _w = falcc_telemetry::span_under(assess_sp_id, "offline.assess_cluster", c as u64);
             let mut present = vec![false; n_groups];
             for &i in members.iter() {
@@ -310,7 +467,40 @@ impl FalccModel {
                 .map(|&(_, ci)| ci)
                 .unwrap_or(scored[0].1);
             (Some(candidates[chosen].clone()), present)
-        });
+        };
+        // Clusters assess in parallel in both branches. In the journaled
+        // branch, resumed regions are fetched, the rest are assessed with
+        // their original cluster ordinals (identical seeds and spans) and
+        // committed in index order — a deterministic commit sequence —
+        // then the assembled vector gets its own checkpoint.
+        let assessed: Vec<RegionAssessment> = match journal {
+            None => parallel_map(&assessment_sets, config.threads, |c, members| {
+                assess_region(c, members)
+            }),
+            Some(j) => match j.fetch(Stage::Assessment) {
+                Some(resumed) => resumed,
+                None => {
+                    let mut slots: Vec<Option<RegionAssessment>> =
+                        (0..assessment_sets.len()).map(|c| j.fetch(Stage::Region(c))).collect();
+                    let missing: Vec<usize> = slots
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(c, s)| s.is_none().then_some(c))
+                        .collect();
+                    let fresh = parallel_map(&missing, config.threads, |_, &c| {
+                        assess_region(c, &assessment_sets[c])
+                    });
+                    for (&c, value) in missing.iter().zip(&fresh) {
+                        j.commit(Stage::Region(c), value)?;
+                        slots[c] = Some(value.clone());
+                    }
+                    let all: Vec<RegionAssessment> =
+                        slots.into_iter().flatten().collect();
+                    j.commit(Stage::Assessment, &all)?;
+                    all
+                }
+            },
+        };
         drop(assess_sp);
 
         let combos = resolve_fallbacks(
@@ -459,7 +649,7 @@ impl FalccModel {
 /// Every step is pure arithmetic over already-merged, input-ordered data,
 /// so degraded models stay bit-identical across thread counts.
 fn resolve_fallbacks(
-    assessed: Vec<(Option<Vec<usize>>, Vec<bool>)>,
+    assessed: Vec<RegionAssessment>,
     centroids: &[Vec<f64>],
     preds: &[Vec<u8>],
     candidates: &[Vec<usize>],
@@ -772,6 +962,51 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn checkpointed_fit_is_bit_identical_plain_resumed_and_cross_threaded() {
+        use crate::checkpoint::{CheckpointSpec, MANIFEST};
+        use crate::persist::SavedFalccModel;
+        let split = quick_split(700, 11);
+        let dir = std::env::temp_dir().join(format!("falcc_fit_ck_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+
+        let snapshot = |model: &FalccModel| -> String {
+            SavedFalccModel::capture(model).unwrap().to_json().unwrap()
+        };
+        let mut cfg = quick_config();
+        cfg.seed = 11;
+        let baseline = snapshot(&FalccModel::fit(&split.train, &split.validation, &cfg).unwrap());
+
+        // A journaled run produces the same bytes as an unjournaled one.
+        cfg.checkpoint = Some(CheckpointSpec::new(&dir));
+        let journaled = snapshot(&FalccModel::fit(&split.train, &split.validation, &cfg).unwrap());
+        assert_eq!(baseline, journaled, "journaling changed the fitted model");
+
+        // Truncate the journal to a prefix — as if the run died mid-way —
+        // and resume at a different thread count: still the same bytes.
+        let manifest = dir.join(MANIFEST);
+        let text = std::fs::read_to_string(&manifest).unwrap();
+        let prefix: Vec<&str> = text.lines().take(5).collect();
+        std::fs::write(&manifest, format!("{}\n", prefix.join("\n"))).unwrap();
+        cfg.checkpoint = Some(CheckpointSpec::new(&dir).resuming());
+        cfg.threads = 2;
+        let resumed = snapshot(&FalccModel::fit(&split.train, &split.validation, &cfg).unwrap());
+        assert_eq!(baseline, resumed, "resume after truncation changed the fitted model");
+
+        // Resume from the now-complete journal: every stage is fetched.
+        cfg.threads = 1;
+        let replayed = snapshot(&FalccModel::fit(&split.train, &split.validation, &cfg).unwrap());
+        assert_eq!(baseline, replayed, "full-journal replay changed the fitted model");
+
+        // A config change makes the journal stale — typed rejection.
+        cfg.seed = 12;
+        match FalccModel::fit(&split.train, &split.validation, &cfg) {
+            Err(FalccError::CheckpointStale { .. }) => {}
+            other => panic!("expected CheckpointStale, got {:?}", other.map(|m| m.n_regions())),
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -45,6 +45,6 @@ pub use forest::{RandomForest, RandomForestParams};
 pub use grid::{GridPoint, TrainerKind, PAPER_GRID};
 pub use parallel::{derive_seed, parallel_map, parallel_map_range, resolve_threads};
 pub use persist::ModelSpec;
-pub use pool::{enumerate_combinations, ModelPool, PoolConfig, TrainedModel};
+pub use pool::{enumerate_combinations, GridCheckpoint, ModelPool, PoolConfig, TrainedModel};
 pub use traits::{predict_dataset, predict_proba_dataset, Classifier};
 pub use tree::{DecisionTree, SplitCriterion, TreeParams};

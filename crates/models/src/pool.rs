@@ -16,11 +16,31 @@ use crate::grid::{paper_grid, TrainerKind};
 use crate::knn_model::KnnClassifier;
 use crate::linear::{LogisticParams, LogisticRegression};
 use crate::parallel::parallel_map;
+use crate::persist::ModelSpec;
 use crate::traits::{predict_dataset, Classifier};
 use crate::tree::{DecisionTree, TreeParams};
 use falcc_dataset::{Dataset, GroupId};
 use falcc_metrics::shannon_entropy_diversity;
 use std::sync::Arc;
+
+/// Per-member checkpoint hook for
+/// [`ModelPool::train_diverse_checkpointed`]. Slots are numbered in input
+/// order — grid points first (`0..grid.len()`), split-training groups
+/// after (`grid.len() + position`) — so load/store traffic is identical
+/// at every thread count. A resumed slot skips refitting entirely; since
+/// [`ModelSpec`] captures a model's full state, a revived member predicts
+/// bit-identically to a freshly fitted one.
+///
+/// The hook lives here (and not in the checkpoint journal's crate) so
+/// this crate stays free of persistence concerns; `store` is infallible
+/// by signature — implementations buffer I/O errors and surface them
+/// after training returns.
+pub trait GridCheckpoint {
+    /// Returns the previously journaled spec for `slot`, if any.
+    fn load(&mut self, slot: usize) -> Option<ModelSpec>;
+    /// Journals the spec fitted for `slot`.
+    fn store(&mut self, slot: usize, spec: &ModelSpec);
+}
 
 /// A pool member: a trained model plus its applicability.
 #[derive(Clone)]
@@ -103,6 +123,35 @@ impl ModelPool {
     /// # Panics
     /// Panics if `train` is empty (propagated from the trainers).
     pub fn train_diverse(train: &Dataset, diversity_eval: &Dataset, cfg: &PoolConfig) -> Self {
+        Self::train_diverse_inner(train, diversity_eval, cfg, None)
+    }
+
+    /// [`Self::train_diverse`] with per-member checkpointing: slots the
+    /// hook already holds are revived from their specs instead of
+    /// refitted, and every freshly fitted slot is stored — in slot order,
+    /// after the parallel fit, so the store sequence is deterministic.
+    /// Each slot's RNG seed derives from its slot index exactly as in the
+    /// uncheckpointed path, so the resulting pool is bit-identical
+    /// whether training ran straight through, resumed, or used a
+    /// different thread count.
+    ///
+    /// # Panics
+    /// Panics if `train` is empty (propagated from the trainers).
+    pub fn train_diverse_checkpointed(
+        train: &Dataset,
+        diversity_eval: &Dataset,
+        cfg: &PoolConfig,
+        ckpt: &mut dyn GridCheckpoint,
+    ) -> Self {
+        Self::train_diverse_inner(train, diversity_eval, cfg, Some(ckpt))
+    }
+
+    fn train_diverse_inner(
+        train: &Dataset,
+        diversity_eval: &Dataset,
+        cfg: &PoolConfig,
+        mut ckpt: Option<&mut dyn GridCheckpoint>,
+    ) -> Self {
         let _sp = falcc_telemetry::span("pool.train_diverse");
         let attrs: Vec<usize> = (0..train.n_attrs()).collect();
         let all_idx: Vec<usize> = (0..train.len()).collect();
@@ -116,10 +165,31 @@ impl ModelPool {
         // is likewise identical for every thread count.
         let grid_sp = falcc_telemetry::span("pool.grid_fit");
         let grid_sp_id = grid_sp.id();
-        let candidates: Vec<Arc<dyn Classifier>> = parallel_map(&grid, cfg.threads, |i, p| {
+        let mut slots: Vec<Option<Arc<dyn Classifier>>> = (0..grid.len())
+            .map(|i| {
+                ckpt.as_deref_mut()
+                    .and_then(|c| c.load(i))
+                    .map(ModelSpec::into_classifier)
+            })
+            .collect();
+        let missing: Vec<usize> = slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.is_none().then_some(i))
+            .collect();
+        let fitted = parallel_map(&missing, cfg.threads, |_, &i| {
             let _w = falcc_telemetry::span_under(grid_sp_id, "pool.grid_point", i as u64);
-            p.fit(train, &attrs, &all_idx, cfg.seed ^ (i as u64) << 8)
+            grid[i].fit(train, &attrs, &all_idx, cfg.seed ^ (i as u64) << 8)
         });
+        for (&i, model) in missing.iter().zip(&fitted) {
+            if let Some(c) = ckpt.as_deref_mut() {
+                if let Some(spec) = model.to_spec() {
+                    c.store(i, &spec);
+                }
+            }
+            slots[i] = Some(model.clone());
+        }
+        let candidates: Vec<Arc<dyn Classifier>> = slots.into_iter().flatten().collect();
         drop(grid_sp);
 
         let sel_sp = falcc_telemetry::span("pool.diversity_select");
@@ -165,9 +235,28 @@ impl ModelPool {
             let _split_sp = falcc_telemetry::span("pool.split_training");
             // Group partitions are likewise independent; seeds depend on
             // the group id, and the ordered merge keeps the pool layout
-            // stable across thread counts.
+            // stable across thread counts. Checkpoint slots continue
+            // after the grid (`grid.len() + position`); a group too small
+            // to train on stores nothing and is cheaply re-skipped on
+            // resume.
             let groups: Vec<GroupId> = train.group_index().ids().collect();
-            let split_models = parallel_map(&groups, cfg.threads, |_, &g| {
+            let base = grid.len();
+            let mut split_slots: Vec<Option<Option<TrainedModel>>> = groups
+                .iter()
+                .enumerate()
+                .map(|(pos, &g)| {
+                    ckpt.as_deref_mut().and_then(|c| c.load(base + pos)).map(|spec| {
+                        Some(TrainedModel { model: spec.into_classifier(), group: Some(g) })
+                    })
+                })
+                .collect();
+            let missing: Vec<usize> = split_slots
+                .iter()
+                .enumerate()
+                .filter_map(|(pos, s)| s.is_none().then_some(pos))
+                .collect();
+            let fitted = parallel_map(&missing, cfg.threads, |_, &pos| {
+                let g = groups[pos];
                 let idx = train.indices_of_group(g);
                 if idx.len() < 4 {
                     return None; // too small to train on
@@ -176,7 +265,15 @@ impl ModelPool {
                 let model = point.fit(train, &attrs, &idx, cfg.seed ^ 0xbeef ^ g.0 as u64);
                 Some(TrainedModel { model, group: Some(g) })
             });
-            models.extend(split_models.into_iter().flatten());
+            for (&pos, trained) in missing.iter().zip(&fitted) {
+                if let (Some(c), Some(t)) = (ckpt.as_deref_mut(), trained) {
+                    if let Some(spec) = t.model.to_spec() {
+                        c.store(base + pos, &spec);
+                    }
+                }
+                split_slots[pos] = Some(trained.clone());
+            }
+            models.extend(split_slots.into_iter().flatten().flatten());
         }
         Self { models }
     }
@@ -511,6 +608,74 @@ mod tests {
             pool.models.iter().map(|m| m.model.name().to_string()).collect();
         assert_eq!(survivors, vec![names[0].clone(), names[2].clone(), names[4].clone()]);
         assert_eq!(pool.quarantine(&[]), 0);
+    }
+
+    #[derive(Default)]
+    struct MemoryCheckpoint {
+        slots: std::collections::BTreeMap<usize, ModelSpec>,
+        stored: Vec<usize>,
+        loaded: Vec<usize>,
+    }
+
+    impl GridCheckpoint for MemoryCheckpoint {
+        fn load(&mut self, slot: usize) -> Option<ModelSpec> {
+            let hit = self.slots.get(&slot).cloned();
+            if hit.is_some() {
+                self.loaded.push(slot);
+            }
+            hit
+        }
+        fn store(&mut self, slot: usize, spec: &ModelSpec) {
+            self.stored.push(slot);
+            self.slots.insert(slot, spec.clone());
+        }
+    }
+
+    #[test]
+    fn checkpointed_training_resumes_bit_identically() {
+        let split = small_split();
+        let cfg = PoolConfig { pool_size: 3, split_by_group: true, ..Default::default() };
+        let plain = ModelPool::train_diverse(&split.train, &split.validation, &cfg);
+
+        // First checkpointed run stores every slot in slot order.
+        let mut ckpt = MemoryCheckpoint::default();
+        let first =
+            ModelPool::train_diverse_checkpointed(&split.train, &split.validation, &cfg, &mut ckpt);
+        assert_eq!(ckpt.stored, (0..10).collect::<Vec<_>>(), "8 grid + 2 split slots");
+        assert!(ckpt.loaded.is_empty());
+
+        // Second run revives everything without storing anything new.
+        let partial: Vec<usize> = ckpt.stored.clone();
+        ckpt.stored.clear();
+        let resumed =
+            ModelPool::train_diverse_checkpointed(&split.train, &split.validation, &cfg, &mut ckpt);
+        assert!(ckpt.stored.is_empty(), "no refits on a full journal");
+        assert_eq!(ckpt.loaded, partial);
+
+        // Partial journal: drop half the slots, resume refits exactly those.
+        let mut half = MemoryCheckpoint::default();
+        for (&slot, spec) in ckpt.slots.iter().filter(|(s, _)| *s % 2 == 0) {
+            half.slots.insert(slot, spec.clone());
+        }
+        let halfway =
+            ModelPool::train_diverse_checkpointed(&split.train, &split.validation, &cfg, &mut half);
+        assert_eq!(half.stored, vec![1, 3, 5, 7, 9]);
+
+        // All four pools predict identically row for row.
+        for pool in [&first, &resumed, &halfway] {
+            assert_eq!(pool.len(), plain.len());
+            for (a, b) in plain.models.iter().zip(&pool.models) {
+                assert_eq!(a.group, b.group);
+                assert_eq!(a.model.name(), b.model.name());
+                for i in 0..split.test.len() {
+                    assert_eq!(
+                        a.model.predict_proba_row(split.test.row(i)).to_bits(),
+                        b.model.predict_proba_row(split.test.row(i)).to_bits(),
+                        "probability drift at row {i}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -314,6 +314,18 @@ pub mod counters {
     /// with `serve.bucket_rows` this reconciles with every accepted row,
     /// whatever the member kind.
     pub static SERVE_ORDERED_ROWS: Counter = Counter::new("serve.ordered_rows");
+    /// Retries performed by the offline checkpoint journal's bounded
+    /// retry layer after a transient I/O failure.
+    pub static OFFLINE_RETRIES: Counter = Counter::new("offline.retries");
+    /// Checkpoint records committed (record file durable + manifest entry
+    /// appended) by the offline journal.
+    pub static CHECKPOINTS_WRITTEN: Counter = Counter::new("checkpoint.written");
+    /// Pipeline stages satisfied from a journaled checkpoint on resume
+    /// instead of being recomputed.
+    pub static CHECKPOINTS_RESUMED: Counter = Counter::new("checkpoint.resumed");
+    /// Journal entries discarded on resume: torn or corrupt records,
+    /// broken manifest chains, and stale-generation suffixes.
+    pub static CHECKPOINTS_DISCARDED: Counter = Counter::new("checkpoint.discarded");
 }
 
 /// Well-known gauges.

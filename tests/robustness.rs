@@ -13,12 +13,20 @@
 //! 3. **Hardened persistence** — a corruption matrix (bit flips at many
 //!    offsets, truncations at many lengths, version skew) is always
 //!    caught by the snapshot envelope and rejected with a typed error.
+//! 4. **Crash-consistent checkpoints** — the same corruption matrix
+//!    applied to a checkpoint journal never poisons a resumed fit: every
+//!    damaged record or manifest line is detected and the resume falls
+//!    back to the last valid prefix, reproducing the uninterrupted model
+//!    bit for bit (stale-generation journals are rejected typed instead).
 
+use falcc::checkpoint::MANIFEST;
+use falcc::faults::{flip_byte, truncate_bytes};
 use falcc::{
-    FairClassifier, FalccConfig, FalccError, FalccModel, FaultPlan, RowFault,
-    SavedFalccModel,
+    CheckpointSpec, FairClassifier, FalccConfig, FalccError, FalccModel, FaultPlan,
+    RowFault, SavedFalccModel,
 };
 use falcc_dataset::{synthetic, SplitRatios, ThreeWaySplit};
+use std::path::Path;
 
 /// Thread counts to exercise. CI pins `FALCC_TEST_THREADS` to 1, 2, and 8
 /// in separate jobs; locally every count runs in-process too.
@@ -281,6 +289,146 @@ fn corrupted_snapshot_files_are_rejected_on_load() {
     ));
 
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Fits on `split`, optionally journaling into `ckpt`, and returns the
+/// serialised snapshot — the byte string all resumed runs must reproduce.
+fn fit_snapshot(
+    split: &ThreeWaySplit,
+    seed: u64,
+    ckpt: Option<(&Path, bool)>,
+) -> Result<String, FalccError> {
+    let mut cfg = config(seed, 0);
+    if let Some((dir, resume)) = ckpt {
+        let mut spec = CheckpointSpec::new(dir);
+        spec.resume = resume;
+        cfg.checkpoint = Some(spec);
+    }
+    let model = FalccModel::fit(&split.train, &split.validation, &cfg)?;
+    SavedFalccModel::capture(&model).and_then(|s| s.to_json())
+}
+
+/// The snapshot corruption matrix, extended to checkpoint journals: bit
+/// flips in every record file, manifest truncation buckets, and a
+/// manifest-chain break all degrade to a shorter valid prefix — the
+/// resumed model stays bit-identical to the uninterrupted run.
+#[test]
+fn checkpoint_journal_corruption_matrix_resumes_from_last_valid_prefix() {
+    let split = fixture(700, 41);
+    let root = std::env::temp_dir().join("falcc_journal_matrix");
+    std::fs::remove_dir_all(&root).ok();
+    std::fs::create_dir_all(&root).expect("mkdir");
+
+    // Reference: one journaled run, equal to the journal-less fit, whose
+    // journal files become the pristine state every case damages.
+    let pristine_dir = root.join("pristine");
+    let reference =
+        fit_snapshot(&split, 41, Some((&pristine_dir, false))).expect("journaled fit");
+    assert_eq!(
+        reference,
+        fit_snapshot(&split, 41, None).expect("plain fit"),
+        "journaling must not change the fitted model"
+    );
+    let mut pristine: Vec<(String, Vec<u8>)> = std::fs::read_dir(&pristine_dir)
+        .expect("read journal dir")
+        .map(|e| {
+            let e = e.expect("dir entry");
+            let name = e.file_name().to_string_lossy().into_owned();
+            (name.clone(), std::fs::read(e.path()).expect("read journal file"))
+        })
+        .collect();
+    pristine.sort();
+    let records: Vec<String> = pristine
+        .iter()
+        .map(|(n, _)| n.clone())
+        .filter(|n| n.starts_with("ck_"))
+        .collect();
+    assert!(records.len() >= 10, "expected a multi-record journal, got {records:?}");
+
+    let scratch = root.join("scratch");
+    let restore = || {
+        std::fs::remove_dir_all(&scratch).ok();
+        std::fs::create_dir_all(&scratch).expect("mkdir scratch");
+        for (name, bytes) in &pristine {
+            std::fs::write(scratch.join(name), bytes).expect("restore journal file");
+        }
+    };
+    let resume = || fit_snapshot(&split, 41, Some((&scratch, true)));
+
+    // Bit-flip sweep: damage each record file in turn, once a third of
+    // the way in and once near the tail. The manifest's record checksum
+    // catches the flip and the prefix ends just before it.
+    for name in &records {
+        for offset_num in [3usize, 1usize] {
+            restore();
+            let path = scratch.join(name);
+            let mut bytes = std::fs::read(&path).expect("read record");
+            let offset = bytes.len() / offset_num - 3;
+            assert!(flip_byte(&mut bytes, offset), "record files are never empty");
+            std::fs::write(&path, &bytes).expect("write mangled record");
+            assert_eq!(
+                resume().expect("resume over flipped record"),
+                reference,
+                "flip in {name} at {offset} must fall back to the valid prefix"
+            );
+        }
+    }
+
+    // Truncation buckets on the manifest: empty file, mid-first-line tear,
+    // quarter/half tears, and a torn final line (the mid-manifest crash
+    // shape). Each yields a shorter valid prefix, never a wrong model.
+    let manifest_len = pristine
+        .iter()
+        .find(|(n, _)| n == MANIFEST)
+        .map(|(_, b)| b.len())
+        .expect("manifest in pristine journal");
+    for keep in [0, 10, manifest_len / 4, manifest_len / 2, manifest_len - 5] {
+        restore();
+        let path = scratch.join(MANIFEST);
+        let mut bytes = std::fs::read(&path).expect("read manifest");
+        assert!(truncate_bytes(&mut bytes, keep));
+        std::fs::write(&path, &bytes).expect("write truncated manifest");
+        assert_eq!(
+            resume().expect("resume over truncated manifest"),
+            reference,
+            "manifest truncated to {keep} bytes must fall back to the valid prefix"
+        );
+    }
+
+    // Chain break: splice out a middle manifest line. The successor's
+    // predecessor-checksum no longer matches, so the prefix ends at the
+    // splice even though every remaining line is individually pristine.
+    restore();
+    let path = scratch.join(MANIFEST);
+    let text = std::fs::read_to_string(&path).expect("read manifest");
+    let lines: Vec<&str> = text.lines().collect();
+    let spliced: Vec<&str> = lines
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != lines.len() / 2)
+        .map(|(_, l)| *l)
+        .collect();
+    std::fs::write(&path, spliced.join("\n") + "\n").expect("write spliced manifest");
+    assert_eq!(
+        resume().expect("resume over spliced manifest"),
+        reference,
+        "a manifest-chain break must fall back to the valid prefix"
+    );
+
+    // Stale generation: a journal written under one seed must be rejected
+    // typed when resumed under another — never spliced in.
+    restore();
+    match fit_snapshot(&split, 42, Some((&scratch, true))) {
+        Err(FalccError::CheckpointStale { found, expected }) => {
+            assert_ne!(found, expected);
+        }
+        Err(other) => panic!("expected CheckpointStale, got {other}"),
+        Ok(_) => panic!("a foreign-generation journal must not resume"),
+    }
+    // ... while a fresh (non-resume) fit wipes it and proceeds.
+    assert!(fit_snapshot(&split, 42, Some((&scratch, false))).is_ok());
+
+    std::fs::remove_dir_all(&root).ok();
 }
 
 #[test]
