@@ -202,6 +202,29 @@ fn main() {
     print!("{}", kernel_table.render());
     write_csv(&kernel_table, &out, "kernel_speedups.csv");
 
+    // Serving cold start next to the runtime numbers: the JSON
+    // restore+compile path a replica pays today vs the persisted binary
+    // artifact (see `exp_artifacts` for the JSON report and the gates).
+    let art = falcc_bench::bench_artifacts(opts.scale, opts.seed, if opts.smoke { 1 } else { 3 });
+    let mut art_table = Table::new(
+        "Serving cold start — JSON restore+compile vs binary artifact, Adult (sex)",
+        &["path", "ms", "speedup", "equivalent"],
+    );
+    art_table.push(vec![
+        "json restore+compile".into(),
+        format!("{:.2}", art.json_cold_ms),
+        "baseline".into(),
+        "-".into(),
+    ]);
+    art_table.push(vec![
+        "binary artifact load".into(),
+        format!("{:.2}", art.artifact_cold_ms),
+        format!("{:.1}x", art.cold_start_speedup),
+        art.equivalent.to_string(),
+    ]);
+    print!("{}", art_table.render());
+    write_csv(&art_table, &out, "cold_start.csv");
+
     // Any --profile/--trace-out output covers the comparison above; the
     // sections below manage telemetry state themselves.
     opts.finish_telemetry();

@@ -26,6 +26,7 @@
 //! `benches/`.
 
 pub mod algos;
+pub mod artifacts;
 pub mod cli;
 pub mod data;
 pub mod eval;
@@ -35,6 +36,7 @@ pub mod report;
 pub mod serving;
 
 pub use algos::{fit_algorithm, Algo, FittedAlgo};
+pub use artifacts::{bench_artifacts, ArtifactsReport};
 pub use cli::Opts;
 pub use data::BenchDataset;
 pub use eval::{evaluate, reference_regions, EvalRow};

@@ -67,7 +67,7 @@ pub struct ServingReport {
 /// common on a steal-prone shared vCPU.
 const SAMPLE_TARGET_S: f64 = 0.004;
 
-fn best_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+pub(crate) fn best_ms(reps: usize, mut f: impl FnMut()) -> f64 {
     let start = Instant::now();
     f();
     let once = start.elapsed().as_secs_f64();
@@ -111,7 +111,7 @@ fn best_pair_ms(reps: usize, mut a: impl FnMut(), mut b: impl FnMut()) -> (f64, 
 /// The ensemble-heavy serving configuration: whole AdaBoost grid
 /// (`pool_size = 0` keeps all eight points), fixed k so the region count
 /// is stable across scales.
-fn serving_config(seed: u64) -> FalccConfig {
+pub(crate) fn serving_config(seed: u64) -> FalccConfig {
     FalccConfig {
         clustering: ClusterSpec::FixedK(8),
         pool: PoolConfig {
@@ -127,7 +127,7 @@ fn serving_config(seed: u64) -> FalccConfig {
 
 /// A batch interleaving valid test rows with every malformed-row kind —
 /// the equivalence check must hold on faults too.
-fn mixed_batch(split: &ThreeWaySplit) -> Vec<Vec<f64>> {
+pub(crate) fn mixed_batch(split: &ThreeWaySplit) -> Vec<Vec<f64>> {
     let width = split.test.row(0).len();
     let mut rows: Vec<Vec<f64>> =
         (0..24).map(|i| split.test.row(i % split.test.len()).to_vec()).collect();

@@ -120,6 +120,10 @@ pub struct FitArgs {
     pub retry_budget: u32,
     /// Deterministic fault schedule from `--crash-at` / `--inject`.
     pub faults: FaultPlan,
+    /// Also compile the fitted model and write it as a binary serving
+    /// artifact (`.falccb`) next to the JSON snapshot, so later serving
+    /// starts skip JSON parsing and recompilation.
+    pub emit_artifact: bool,
 }
 
 /// `falcc monitor` options.
@@ -166,6 +170,10 @@ pub struct PredictArgs {
     /// Classify through the interpreted online phase instead of the
     /// compiled serving plane (escape hatch; results are bit-identical).
     pub no_compile: bool,
+    /// Ignore a sibling `.falccb` binary artifact and always restore +
+    /// recompile from the JSON snapshot (escape hatch; results are
+    /// bit-identical).
+    pub no_artifact: bool,
 }
 
 /// Shared `--model` + `--data` options.
@@ -363,6 +371,7 @@ fn parse_fit(args: &[String]) -> Result<Command, CliError> {
         resume: false,
         retry_budget: 3,
         faults: FaultPlan::default(),
+        emit_artifact: false,
     };
     let mut cur = Cursor { args, at: 0 };
     while cur.at < cur.args.len() {
@@ -398,6 +407,7 @@ fn parse_fit(args: &[String]) -> Result<Command, CliError> {
                 );
             }
             "--inject" => parse_inject(&mut out.faults, cur.next_value("--inject")?)?,
+            "--emit-artifact" => out.emit_artifact = true,
             other => return Err(CliError::usage(format!("unknown flag {other}"))),
         }
     }
@@ -495,6 +505,7 @@ fn parse_predict(args: &[String]) -> Result<Command, CliError> {
     let mut out = None;
     let mut threads = 0;
     let mut no_compile = false;
+    let mut no_artifact = false;
     let mut cur = Cursor { args, at: 0 };
     while cur.at < cur.args.len() {
         let flag = cur.args[cur.at].clone();
@@ -505,6 +516,7 @@ fn parse_predict(args: &[String]) -> Result<Command, CliError> {
             "--out" => out = Some(cur.next_value("--out")?.to_string()),
             "--threads" => threads = parse_num(cur.next_value("--threads")?, "--threads")?,
             "--no-compile" => no_compile = true,
+            "--no-artifact" => no_artifact = true,
             other => return Err(CliError::usage(format!("unknown flag {other}"))),
         }
     }
@@ -514,6 +526,7 @@ fn parse_predict(args: &[String]) -> Result<Command, CliError> {
         out,
         threads,
         no_compile,
+        no_artifact,
     }))
 }
 
@@ -628,14 +641,16 @@ mod tests {
                 out: None,
                 threads: 0,
                 no_compile: false,
+                no_artifact: false,
             })
         );
         let cmd = parse(&v(&[
             "predict", "--model", "m.json", "--data", "d.csv", "--no-compile",
+            "--no-artifact",
         ]))
         .unwrap();
         let Command::Predict(p) = cmd else { panic!("expected predict") };
-        assert!(p.no_compile);
+        assert!(p.no_compile && p.no_artifact);
         let cmd = parse(&v(&["audit", "--model", "m", "--data", "d"])).unwrap();
         assert!(matches!(cmd, Command::Audit(_)));
         let cmd = parse(&v(&["info", "--model", "m"])).unwrap();
@@ -760,18 +775,19 @@ mod tests {
                 resume: false,
                 retry_budget: 3,
                 faults: FaultPlan::default(),
+                emit_artifact: false,
             })
         );
 
         let cmd = parse(&v(&[
             "fit", "--out", "m.json", "--checkpoint-dir", "ck", "--resume",
             "--seed", "3", "--rows", "400", "--threads", "2", "--retry-budget", "5",
-            "--crash-at", "7:after-record", "--inject", "io:2",
+            "--crash-at", "7:after-record", "--inject", "io:2", "--emit-artifact",
         ]))
         .unwrap();
         let Command::Fit(f) = cmd else { panic!("expected fit") };
         assert_eq!(f.checkpoint_dir.as_deref(), Some("ck"));
-        assert!(f.resume);
+        assert!(f.resume && f.emit_artifact);
         assert_eq!((f.seed, f.rows, f.threads, f.retry_budget), (3, 400, 2, 5));
         let mut expected = FaultPlan::default();
         expected.crash_at(7, CrashPhase::AfterRecord).fail_io_attempt(2);

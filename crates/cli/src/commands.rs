@@ -6,7 +6,8 @@ use crate::args::{
 };
 use crate::{CliError, USAGE};
 use falcc::{
-    auto_tune, CheckpointSpec, FairClassifier, FalccConfig, FalccModel, SavedFalccModel,
+    auto_tune, sibling_artifact_path, CheckpointSpec, CompiledModel, CompiledModelBuf,
+    FairClassifier, FalccConfig, FalccModel, SavedFalccModel,
 };
 use falcc_dataset::{csv, Dataset, SplitRatios, ThreeWaySplit};
 use falcc_metrics::individual::consistency;
@@ -183,6 +184,9 @@ fn fit(args: FitArgs) -> Result<String, CliError> {
     SavedFalccModel::capture(&model)
         .and_then(|saved| saved.save_file(&args.out))
         .map_err(|e| CliError::runtime(format!("saving model: {e}")))?;
+    let artifact_path = args.emit_artifact
+        .then(|| emit_artifact(&args.out))
+        .transpose()?;
 
     let mut out = String::new();
     let _ = writeln!(
@@ -204,7 +208,30 @@ fn fit(args: FitArgs) -> Result<String, CliError> {
         );
     }
     let _ = writeln!(out, "model written to {}", args.out);
+    if let Some(path) = artifact_path {
+        let _ = writeln!(out, "artifact written to {path}");
+    }
     Ok(out)
+}
+
+/// Compiles the JSON snapshot at `json_path` into a sibling `.falccb`
+/// binary artifact fingerprinted against the snapshot's on-disk bytes.
+/// Going back through the file (rather than the in-memory model) makes
+/// the artifact bit-identical to what any later JSON restore+compile
+/// would produce.
+fn emit_artifact(json_path: &str) -> Result<String, CliError> {
+    let bytes = std::fs::read(json_path)
+        .map_err(|e| CliError::runtime(format!("reading back {json_path}: {e}")))?;
+    let fingerprint = falcc::io::fnv1a64(&bytes);
+    let compiled = SavedFalccModel::load_file(json_path)
+        .map_err(|e| CliError::runtime(format!("reading back {json_path}: {e}")))?
+        .restore()
+        .compile();
+    let path = sibling_artifact_path(std::path::Path::new(json_path));
+    compiled
+        .save_artifact(&path, fingerprint)
+        .map_err(|e| CliError::runtime(format!("writing artifact: {e}")))?;
+    Ok(path.display().to_string())
 }
 
 /// `falcc monitor`: renders a windowed monitor stream (JSONL written by
@@ -567,11 +594,23 @@ fn train(args: TrainArgs) -> Result<String, CliError> {
 }
 
 fn predict(args: PredictArgs) -> Result<String, CliError> {
+    // A fresh sibling binary artifact serves the compiled plane without
+    // JSON parsing or recompilation. Anything wrong with it — corrupt,
+    // version skew, stale fingerprint — falls back to the JSON path with
+    // the reason surfaced as progress and counted in telemetry.
+    if !args.no_compile && !args.no_artifact {
+        if let Some(mut compiled) = load_artifact_for(&args.model) {
+            compiled.set_threads(args.threads);
+            let sensitive = sensitive_decl(compiled.schema());
+            let data = load_dataset(&args.data, &as_refs(&sensitive))?;
+            return render_predictions(compiled.predict_dataset(&data), &args.out);
+        }
+    }
     let mut model = load_model(&args.model)?;
     // The batched online phase fans out over worker threads; predictions
     // are identical for every thread count.
     model.set_threads(args.threads);
-    let sensitive = sensitive_decl_of(&model);
+    let sensitive = sensitive_decl(model.schema());
     let data = load_dataset(&args.data, &as_refs(&sensitive))?;
     // Serve through the compiled plane unless --no-compile asks for the
     // interpreted online phase; predictions are bit-identical either way.
@@ -580,14 +619,46 @@ fn predict(args: PredictArgs) -> Result<String, CliError> {
     } else {
         model.compile().predict_dataset(&data)
     };
+    render_predictions(preds, &args.out)
+}
 
+/// Tries the binary-artifact fast path for the snapshot at `model_path`:
+/// a sibling `.falccb` whose recorded fingerprint matches the snapshot's
+/// current on-disk bytes. Returns `None` (after counting the fallback)
+/// when there is no usable artifact.
+fn load_artifact_for(model_path: &str) -> Option<CompiledModel> {
+    let path = sibling_artifact_path(std::path::Path::new(model_path));
+    if !path.exists() {
+        return None;
+    }
+    let fingerprint = match std::fs::read(model_path) {
+        Ok(bytes) => falcc::io::fnv1a64(&bytes),
+        // Unreadable snapshot: let the JSON path report the I/O error.
+        Err(_) => return None,
+    };
+    match CompiledModelBuf::read(&path).and_then(|buf| buf.load_if_fresh(fingerprint)) {
+        Ok(compiled) => {
+            falcc_telemetry::progress("serving from binary artifact");
+            Some(compiled)
+        }
+        Err(e) => {
+            falcc_telemetry::counters::SERVE_ARTIFACT_FALLBACKS.incr();
+            falcc_telemetry::progress(format!(
+                "artifact unusable ({e}); falling back to JSON snapshot"
+            ));
+            None
+        }
+    }
+}
+
+fn render_predictions(preds: Vec<u8>, out: &Option<String>) -> Result<String, CliError> {
     let mut body = String::with_capacity(preds.len() * 2 + 16);
     body.push_str("prediction\n");
     for p in &preds {
         body.push(if *p == 1 { '1' } else { '0' });
         body.push('\n');
     }
-    match &args.out {
+    match out {
         Some(path) => {
             std::fs::write(path, &body)
                 .map_err(|e| CliError::runtime(format!("writing {path}: {e}")))?;
@@ -599,7 +670,7 @@ fn predict(args: PredictArgs) -> Result<String, CliError> {
 
 fn audit(args: ModelDataArgs) -> Result<String, CliError> {
     let model = load_model(&args.model)?;
-    let sensitive = sensitive_decl_of(&model);
+    let sensitive = sensitive_decl(model.schema());
     let data = load_dataset(&args.data, &as_refs(&sensitive))?;
     let preds = model.predict_dataset(&data);
     let y = data.labels();
@@ -682,8 +753,7 @@ fn info(model_path: &str) -> Result<String, CliError> {
 
 /// The `(name, domain)` sensitive declaration the model was trained with,
 /// read from its stored schema, for CSV loading by header name.
-fn sensitive_decl_of(model: &FalccModel) -> Vec<(String, Vec<f64>)> {
-    let schema = model.schema();
+fn sensitive_decl(schema: &falcc_dataset::Schema) -> Vec<(String, Vec<f64>)> {
     schema
         .sensitive()
         .iter()
@@ -723,6 +793,114 @@ mod tests {
         }
         std::fs::write(path, text).unwrap();
         path.to_string_lossy().into_owned()
+    }
+
+    /// Dumps a dataset back to CSV in its schema's column order, so a
+    /// `fit`-produced (synthetic-schema) model can be served via
+    /// `predict` in-process.
+    fn dump_csv(ds: &falcc_dataset::Dataset, path: &std::path::Path) -> String {
+        use std::fmt::Write as _;
+        let schema = ds.schema();
+        let mut text = String::new();
+        for j in 0..schema.n_attrs() {
+            let _ = write!(text, "{},", schema.attr_name(j));
+        }
+        text.push_str("label\n");
+        for i in 0..ds.len() {
+            for v in ds.row(i) {
+                let _ = write!(text, "{v},");
+            }
+            let _ = writeln!(text, "{}", ds.labels()[i]);
+        }
+        std::fs::write(path, text).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn fit_emits_artifact_and_predict_prefers_it_with_typed_fallback() {
+        use falcc_dataset::synthetic::{generate, SyntheticConfig};
+
+        let dir = std::env::temp_dir().join("falcc_cli_artifact_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model_path = dir.join("model.json").to_string_lossy().into_owned();
+        let artifact_path = dir.join("model.falccb");
+
+        let out = crate::run(&v(&[
+            "fit", "--rows", "400", "--seed", "9", "--out", &model_path,
+            "--emit-artifact",
+        ]))
+        .unwrap();
+        assert!(out.contains("model written to"), "{out}");
+        assert!(out.contains("artifact written to"), "{out}");
+        assert!(artifact_path.exists());
+
+        // Serve rows drawn from the same synthetic family (fresh seed).
+        let mut dcfg = SyntheticConfig::social(0.30);
+        dcfg.n = 150;
+        let ds = generate(&dcfg, 33).unwrap();
+        let data_csv = dump_csv(&ds, &dir.join("data.csv"));
+
+        let via_artifact = crate::run(&v(&[
+            "predict", "--model", &model_path, "--data", &data_csv,
+        ]))
+        .unwrap();
+        let via_json = crate::run(&v(&[
+            "predict", "--model", &model_path, "--data", &data_csv, "--no-artifact",
+        ]))
+        .unwrap();
+        let interpreted = crate::run(&v(&[
+            "predict", "--model", &model_path, "--data", &data_csv, "--no-compile",
+        ]))
+        .unwrap();
+        assert_eq!(via_artifact.lines().count(), 151);
+        assert_eq!(via_artifact, via_json, "artifact and JSON paths must agree");
+        assert_eq!(via_artifact, interpreted, "compiled and interpreted must agree");
+
+        // A corrupt artifact degrades to the JSON path, bit-identically.
+        let pristine = std::fs::read(&artifact_path).unwrap();
+        let mut damaged = pristine.clone();
+        let mid = damaged.len() / 2;
+        damaged[mid] ^= 0xff;
+        std::fs::write(&artifact_path, &damaged).unwrap();
+        let fallbacks_before =
+            falcc_telemetry::counters::SERVE_ARTIFACT_FALLBACKS.get();
+        let after_damage = crate::run(&v(&[
+            "predict", "--model", &model_path, "--data", &data_csv,
+        ]))
+        .unwrap();
+        assert_eq!(after_damage, via_json);
+        if falcc_telemetry::enabled() {
+            assert_eq!(
+                falcc_telemetry::counters::SERVE_ARTIFACT_FALLBACKS.get(),
+                fallbacks_before + 1,
+                "corrupt-artifact fallback must be counted"
+            );
+        }
+
+        // A stale artifact (snapshot refitted underneath it) also degrades.
+        std::fs::write(&artifact_path, &pristine).unwrap();
+        crate::run(&v(&[
+            "fit", "--rows", "400", "--seed", "10", "--out", &model_path,
+        ]))
+        .unwrap();
+        let stale = crate::run(&v(&[
+            "predict", "--model", &model_path, "--data", &data_csv,
+        ]))
+        .unwrap();
+        let fresh_json = crate::run(&v(&[
+            "predict", "--model", &model_path, "--data", &data_csv, "--no-artifact",
+        ]))
+        .unwrap();
+        assert_eq!(stale, fresh_json, "stale artifact must serve the new snapshot");
+        if falcc_telemetry::enabled() {
+            assert_eq!(
+                falcc_telemetry::counters::SERVE_ARTIFACT_FALLBACKS.get(),
+                fallbacks_before + 2,
+                "stale-artifact fallback must be counted"
+            );
+        }
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

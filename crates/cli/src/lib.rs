@@ -94,13 +94,13 @@ USAGE:
                 [--proxy none|reweigh|remove] [--clusters auto|elbow|<k>]
                 [--val-split <0..1>] [--seed <u64>] [--tune] [--threads <n>]
   falcc predict --model <model.json> --data <csv> [--out <csv>] [--threads <n>]
-                [--no-compile]
+                [--no-compile] [--no-artifact]
   falcc audit   --model <model.json> --data <csv>
   falcc info    --model <model.json>
   falcc run     [--seed <u64>] [--scale <0..1>] [--threads <n>]
                 [--inject <spec>] [--no-compile] [--monitor-out <jsonl>]
   falcc fit     --out <model.json> [--checkpoint-dir <dir>] [--resume]
-                [--seed <u64>] [--rows <n>] [--threads <n>]
+                [--emit-artifact] [--seed <u64>] [--rows <n>] [--threads <n>]
                 [--retry-budget <n>] [--crash-at <ordinal>:<phase>]
                 [--inject <spec>]
   falcc monitor --input <jsonl> [--warn-dp <gap>] [--warn-skew <score>]
@@ -143,6 +143,15 @@ inference artifacts with region-batched dispatch) by default;
 --no-compile falls back to the interpreted online phase. The two planes
 produce bit-identical predictions — the flag only trades compile time
 against per-row throughput.
+
+`fit --emit-artifact` additionally compiles the snapshot and writes the
+serving plane as a binary artifact next to the JSON (same path, .falccb
+extension). predict prefers a sibling .falccb when its recorded
+fingerprint matches the JSON snapshot on disk, skipping parse, restore
+and compile for a millisecond cold start; a stale, corrupt or truncated
+artifact is rejected with a typed error and predict silently falls back
+to the JSON path (counted in serve.artifact_fallbacks). Predictions are
+bit-identical either way. --no-artifact forces the JSON path.
 
 --monitor-out installs the live serving monitors around the run's
 classification pass and writes the windowed fairness/drift stream as

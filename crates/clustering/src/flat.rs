@@ -48,24 +48,82 @@ impl CentroidMatrix {
     /// Panics if the model has no centroids (a fitted model always has
     /// `k ≥ 1`).
     pub fn from_model(model: &KMeansModel) -> Self {
+        let norms = model.centroid_norms();
+        Self::with_norms(model, norms)
+    }
+
+    /// Like [`Self::from_model`], but adopts already-computed norms
+    /// instead of recomputing them — callers that restored a snapshot (or
+    /// hold a fitted [`crate::KMeansModel`] with cached norms) avoid the
+    /// duplicate `k × d` sweep. Debug builds verify the handed-in norms
+    /// match a fresh recomputation bit-for-bit.
+    ///
+    /// # Panics
+    /// Panics if the model has no centroids or `norms.len() != k`.
+    pub fn with_norms(model: &KMeansModel, norms: Vec<f64>) -> Self {
         assert!(!model.centroids.is_empty(), "cannot flatten a centroid-free model");
+        assert_eq!(norms.len(), model.centroids.len(), "one norm per centroid");
+        debug_assert!(
+            model
+                .centroid_norms()
+                .iter()
+                .zip(&norms)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "adopted norms must match the centroids bit-for-bit"
+        );
         let n_cols = model.centroids[0].len();
-        let k = model.centroids.len();
-        let mut data = Vec::with_capacity(k * n_cols);
+        let mut data = Vec::with_capacity(model.centroids.len() * n_cols);
         for centroid in &model.centroids {
             data.extend_from_slice(centroid);
+        }
+        match Self::from_raw(data, norms, n_cols) {
+            Ok(matrix) => matrix,
+            Err(detail) => unreachable!("fitted model produced invalid slab: {detail}"),
+        }
+    }
+
+    /// Rebuilds a matrix from its flat parts — the row-major centroid
+    /// slab and the cached norms — as produced by [`Self::data`] /
+    /// [`Self::norms`]. The transposed column slab is a derived cache and
+    /// is reconstructed, not transported. Returns a description of the
+    /// inconsistency instead of panicking so binary loaders can surface
+    /// it as a typed error.
+    ///
+    /// # Errors
+    /// A human-readable detail string when the slab shape is
+    /// inconsistent (`data.len() != k * n_cols`, zero centroids, or a
+    /// zero-width matrix with non-empty data).
+    pub fn from_raw(data: Vec<f64>, norms: Vec<f64>, n_cols: usize) -> Result<Self, String> {
+        let k = norms.len();
+        if k == 0 {
+            return Err("centroid matrix must hold at least one centroid".into());
+        }
+        if data.len() != k * n_cols {
+            return Err(format!(
+                "centroid slab holds {} values, expected k={k} × d={n_cols}",
+                data.len()
+            ));
         }
         let col_stride = k.next_power_of_two().clamp(4, COLUMN_SCAN_MAX_K);
         let mut cols = vec![0.0; col_stride * n_cols];
         if k <= COLUMN_SCAN_MAX_K {
-            for (c, centroid) in model.centroids.iter().enumerate() {
+            for (c, centroid) in data.chunks_exact(n_cols.max(1)).enumerate().take(k) {
                 for (j, &v) in centroid.iter().enumerate() {
                     cols[j * col_stride + c] = v;
                 }
             }
         }
-        let norms = model.centroid_norms();
-        Self { data, cols, col_stride, norms, n_cols }
+        Ok(Self { data, cols, col_stride, norms, n_cols })
+    }
+
+    /// The row-major `k × d` centroid slab.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The cached centroid norms (`k` values).
+    pub fn norms(&self) -> &[f64] {
+        &self.norms
     }
 
     /// Transposed distance sweep with a compile-time column width `K`
@@ -251,6 +309,26 @@ mod tests {
                 assert_eq!(model.predict_pruned(matrix.row(c), &norms), matrix.nearest(matrix.row(c)));
             }
         }
+    }
+
+    #[test]
+    fn raw_round_trip_is_identical_and_shape_checked() {
+        let points = random_points(160, 3, 21);
+        let model = KMeans::new(6, 21).fit(&points);
+        let matrix = CentroidMatrix::from_model(&model);
+        let rebuilt = CentroidMatrix::from_raw(
+            matrix.data().to_vec(),
+            matrix.norms().to_vec(),
+            matrix.n_cols(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, matrix, "raw parts must reproduce the full matrix");
+        let queries = random_points(80, 3, 22);
+        for i in 0..queries.n_rows {
+            assert_eq!(matrix.nearest(queries.row(i)), rebuilt.nearest(queries.row(i)));
+        }
+        assert!(CentroidMatrix::from_raw(vec![0.0; 5], vec![1.0; 2], 3).is_err());
+        assert!(CentroidMatrix::from_raw(Vec::new(), Vec::new(), 3).is_err());
     }
 
     #[test]

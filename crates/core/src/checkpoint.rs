@@ -43,7 +43,7 @@
 use crate::config::FalccConfig;
 use crate::error::FalccError;
 use crate::faults::{CrashPhase, CrashPoint, FaultPlan, FaultSite};
-use crate::persist::{
+use crate::io::{
     atomic_durable_write, fnv1a64, open_envelope, seal_envelope, EnvelopeFault,
 };
 use falcc_dataset::Dataset;

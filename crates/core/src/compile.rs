@@ -35,12 +35,13 @@
 //! pin this.
 
 use crate::error::RowFault;
-use crate::faults::FaultSite;
+use crate::faults::{FaultPlan, FaultSite};
 use crate::framework::FairClassifier;
 use crate::offline::FalccModel;
-use crate::online::{project_row_into, sq_dist, PROJ_STACK_DIMS};
+use crate::online::{project_row_into, sq_dist, validate_row_against, PROJ_STACK_DIMS};
+use crate::proxy::ProxyOutcome;
 use falcc_clustering::CentroidMatrix;
-use falcc_dataset::{Dataset, GroupId};
+use falcc_dataset::{Dataset, GroupId, GroupIndex, Schema};
 use falcc_models::{parallel_map, parallel_map_range, FlatPool};
 use std::sync::Arc;
 
@@ -52,16 +53,37 @@ const BUCKET_CHUNK: usize = 512;
 /// Assignment sentinel for rows that failed validation.
 const SKIP: u32 = u32::MAX;
 
-/// A fitted FALCC model lowered into flat serving artifacts. Borrows the
-/// source model for validation metadata (schema, group index, fault
-/// plan, threads knob); all hot-path state is owned and contiguous.
-pub struct CompiledModel<'m> {
-    model: &'m FalccModel,
-    centroids: CentroidMatrix,
-    pool: FlatPool,
+/// Validation metadata the serving plane carries alongside its flat
+/// slabs: everything a row needs before it reaches a compiled member —
+/// the schema (row width), the group index (sensitive-group domain), the
+/// proxy projection, and the display name.
+#[derive(Clone)]
+pub(crate) struct ServeMeta {
+    pub(crate) schema: Schema,
+    pub(crate) group_index: GroupIndex,
+    pub(crate) proxy: ProxyOutcome,
+    pub(crate) name: String,
+}
+
+/// A fitted FALCC model lowered into flat serving artifacts. Fully
+/// self-contained: the validation metadata (schema, group index, proxy
+/// projection) is owned, so a compiled model outlives its source — it
+/// can be persisted as a binary artifact ([`crate::artifact`]) and
+/// loaded without the source model ever existing in the process.
+///
+/// The thread count and fault plan are snapshotted from the source at
+/// [`FalccModel::compile`] time (and default to auto / empty on artifact
+/// load); [`CompiledModel::set_threads`] / [`CompiledModel::set_fault_plan`]
+/// adjust them afterwards.
+pub struct CompiledModel {
+    pub(crate) meta: ServeMeta,
+    pub(crate) centroids: CentroidMatrix,
+    pub(crate) pool: FlatPool,
     /// `dispatch[region * n_groups + group.index()]` → compiled member id.
-    dispatch: Vec<u32>,
-    n_groups: usize,
+    pub(crate) dispatch: Vec<u32>,
+    pub(crate) n_groups: usize,
+    pub(crate) threads: usize,
+    pub(crate) faults: FaultPlan,
 }
 
 impl FalccModel {
@@ -70,7 +92,7 @@ impl FalccModel {
     /// Compilation cost is `serve.compile_ns`; the deduplicated member
     /// count lands in `serve.dedup_models`. Every classification entry
     /// point of the result is bit-identical to the interpreted one here.
-    pub fn compile(&self) -> CompiledModel<'_> {
+    pub fn compile(&self) -> CompiledModel {
         let _sp = falcc_telemetry::span("serve.compile");
         let t0 = std::time::Instant::now();
         let n_groups = self.group_index().len();
@@ -91,14 +113,41 @@ impl FalccModel {
             }
         }
         let pool = FlatPool::compile(&reachable);
-        let centroids = CentroidMatrix::from_model(self.kmeans());
+        // The fitted model already caches the centroid norms — adopt them
+        // instead of recomputing the k × d sweep a second time.
+        let centroids = CentroidMatrix::with_norms(self.kmeans(), self.centroid_norms().to_vec());
         falcc_telemetry::counters::SERVE_COMPILE_NS.add(t0.elapsed().as_nanos() as u64);
         falcc_telemetry::gauges::SERVE_DEDUP_MODELS.set(pool.len() as u64);
-        CompiledModel { model: self, centroids, pool, dispatch, n_groups }
+        CompiledModel {
+            meta: ServeMeta {
+                schema: self.schema().clone(),
+                group_index: self.group_index().clone(),
+                proxy: self.proxy_outcome().clone(),
+                name: self.name_str().to_string(),
+            },
+            centroids,
+            pool,
+            dispatch,
+            n_groups,
+            threads: self.threads(),
+            faults: self.fault_plan().clone(),
+        }
     }
 }
 
-impl CompiledModel<'_> {
+impl CompiledModel {
+    /// Sets the worker-thread count for the batch entry points
+    /// (0 = available parallelism), like [`FalccModel::set_threads`].
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads;
+    }
+
+    /// Installs a deterministic fault-injection plan for the batch entry
+    /// points, like [`FalccModel::set_fault_plan`].
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
     /// Distinct compiled members — the deduplicated reach of the
     /// dispatch table (≤ pool size, often far below regions × groups).
     pub fn n_models(&self) -> usize {
@@ -115,6 +164,12 @@ impl CompiledModel<'_> {
         self.pool.n_nodes()
     }
 
+    /// The schema the model was fitted against (row width, sensitive
+    /// columns and their domains).
+    pub fn schema(&self) -> &Schema {
+        &self.meta.schema
+    }
+
     /// Compiled member id serving `(region, group)`.
     fn member_of(&self, region: usize, group: GroupId) -> u32 {
         self.dispatch[region * self.n_groups + group.index()]
@@ -128,7 +183,11 @@ impl CompiledModel<'_> {
     pub fn try_classify(&self, row: &[f64]) -> Result<u8, RowFault> {
         let monitoring = falcc_telemetry::monitor::active();
         let t0 = monitoring.then(std::time::Instant::now);
-        let group = match self.model.validate_row(row) {
+        let group = match validate_row_against(
+            self.meta.schema.n_attrs(),
+            &self.meta.group_index,
+            row,
+        ) {
             Ok(g) => g,
             Err(fault) => {
                 falcc_telemetry::counters::ONLINE_ROWS_REJECTED.incr();
@@ -142,7 +201,7 @@ impl CompiledModel<'_> {
                 return Err(fault);
             }
         };
-        let proxy = self.model.proxy_outcome();
+        let proxy = &self.meta.proxy;
         let mut stack = [0.0f64; PROJ_STACK_DIMS];
         let heap;
         let projected: &[f64] = if proxy.attrs.len() <= PROJ_STACK_DIMS {
@@ -213,15 +272,19 @@ impl CompiledModel<'_> {
         let _sp = falcc_telemetry::span("serve.classify_batch");
         let rec = falcc_telemetry::monitor::batch(rows.len());
         let t0 = rec.as_ref().map(|_| std::time::Instant::now());
-        let proxy = self.model.proxy_outcome();
-        let plan = self.model.fault_plan();
-        let threads = self.model.threads();
+        let proxy = &self.meta.proxy;
+        let plan = &self.faults;
+        let threads = self.threads;
         let checked: Vec<Result<u32, RowFault>> =
             parallel_map_range(rows.len(), threads, |i| {
                 if plan.fires(FaultSite::NonFiniteRow, i as u64) {
                     return Err(RowFault::NonFinite { column: 0 });
                 }
-                let group = self.model.validate_row(&rows[i])?;
+                let group = validate_row_against(
+                    self.meta.schema.n_attrs(),
+                    &self.meta.group_index,
+                    &rows[i],
+                )?;
                 let mut stack = [0.0f64; PROJ_STACK_DIMS];
                 let heap;
                 let projected: &[f64] = if proxy.attrs.len() <= PROJ_STACK_DIMS {
@@ -332,13 +395,13 @@ impl CompiledModel<'_> {
     }
 }
 
-impl FairClassifier for CompiledModel<'_> {
+impl FairClassifier for CompiledModel {
     fn predict_row(&self, row: &[f64]) -> u8 {
         self.classify(row)
     }
 
     fn name(&self) -> &str {
-        self.model.name_str()
+        &self.meta.name
     }
 
     /// Bucketed override for schema-validated datasets — bit-identical
@@ -351,12 +414,12 @@ impl FairClassifier for CompiledModel<'_> {
         let _sp = falcc_telemetry::span("serve.classify_batch");
         let rec = falcc_telemetry::monitor::batch(ds.len());
         let t0 = rec.as_ref().map(|_| std::time::Instant::now());
-        let proxy = self.model.proxy_outcome();
-        let threads = self.model.threads();
+        let proxy = &self.meta.proxy;
+        let threads = self.threads;
         let assignment: Vec<u32> = parallel_map_range(ds.len(), threads, |i| {
             // Same group resolution as the interpreted dataset path (the
             // model's own index; dataset rows passed schema validation).
-            let group = match self.model.group_index().group_of(ds.row(i)) {
+            let group = match self.meta.group_index.group_of(ds.row(i)) {
                 Ok(g) => g,
                 Err(_) => {
                     panic!("dataset row escaped validation: {}", RowFault::GroupOutOfDomain)

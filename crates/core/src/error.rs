@@ -82,6 +82,31 @@ pub enum FalccError {
         /// Retries attempted before giving up.
         attempts: u32,
     },
+    /// A binary serving artifact failed an integrity or structural check:
+    /// bad magic, checksum mismatch, truncation, misaligned or
+    /// overlapping sections, or slabs that fail the serving plane's
+    /// structural validation.
+    ArtifactCorrupt {
+        /// What exactly failed to verify.
+        detail: String,
+    },
+    /// A binary serving artifact has an intact header but was written by
+    /// a different format version.
+    ArtifactVersionSkew {
+        /// Version recorded in the artifact.
+        found: u32,
+        /// Version this build reads and writes.
+        expected: u32,
+    },
+    /// A binary serving artifact was compiled from a different source
+    /// snapshot than the one on disk — loading it would serve a stale
+    /// model. Callers fall back to the JSON restore+compile path.
+    ArtifactStale {
+        /// Source fingerprint recorded in the artifact.
+        found: u64,
+        /// Fingerprint of the current source snapshot.
+        expected: u64,
+    },
 }
 
 impl fmt::Display for FalccError {
@@ -123,6 +148,18 @@ impl fmt::Display for FalccError {
             Self::RetriesExhausted { op, attempts } => write!(
                 f,
                 "transient I/O failure persisted through {attempts} retries during {op}"
+            ),
+            Self::ArtifactCorrupt { detail } => {
+                write!(f, "artifact corrupt: {detail}")
+            }
+            Self::ArtifactVersionSkew { found, expected } => write!(
+                f,
+                "artifact format v{found} unsupported (this build reads v{expected})"
+            ),
+            Self::ArtifactStale { found, expected } => write!(
+                f,
+                "artifact compiled from a different snapshot: fingerprint \
+                 {found:016x} recorded, current snapshot is {expected:016x}"
             ),
         }
     }
@@ -225,6 +262,17 @@ mod tests {
         let msg = FalccError::RetriesExhausted { op: "manifest append".into(), attempts: 3 }
             .to_string();
         assert!(msg.contains("manifest append") && msg.contains('3'), "{msg}");
+    }
+
+    #[test]
+    fn artifact_variants_format() {
+        assert!(FalccError::ArtifactCorrupt { detail: "section 3 checksum".into() }
+            .to_string()
+            .contains("section 3 checksum"));
+        let msg = FalccError::ArtifactVersionSkew { found: 9, expected: 3 }.to_string();
+        assert!(msg.contains("v9") && msg.contains("v3"), "{msg}");
+        let msg = FalccError::ArtifactStale { found: 0xaa, expected: 0xbb }.to_string();
+        assert!(msg.contains("00000000000000aa") && msg.contains("00000000000000bb"), "{msg}");
     }
 
     #[test]

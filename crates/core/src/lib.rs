@@ -58,6 +58,7 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod artifact;
 pub mod baseline;
 pub mod checkpoint;
 pub mod compile;
@@ -65,12 +66,14 @@ pub mod config;
 pub mod error;
 pub mod faults;
 pub mod framework;
+pub mod io;
 pub mod offline;
 pub mod online;
 pub mod persist;
 pub mod proxy;
 pub mod tuning;
 
+pub use artifact::{sibling_artifact_path, CompiledModelBuf};
 pub use baseline::MonitorBaseline;
 pub use checkpoint::{CheckpointJournal, CheckpointSpec};
 pub use compile::CompiledModel;

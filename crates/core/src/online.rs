@@ -10,7 +10,7 @@ use crate::error::RowFault;
 use crate::faults::FaultSite;
 use crate::framework::FairClassifier;
 use crate::offline::FalccModel;
-use falcc_dataset::{AttrId, GroupId};
+use falcc_dataset::{AttrId, GroupId, GroupIndex};
 use falcc_models::parallel_map_range;
 
 /// Single-row projections at or below this width use a stack buffer
@@ -48,6 +48,28 @@ pub(crate) fn project_row_into(
             }
         }
     }
+}
+
+/// Row validation shared by the interpreted and compiled serving planes —
+/// both defer to this one function so the fault order (width, then
+/// finiteness, then group domain) can never drift between them.
+/// Resolving the group *is* the domain check, so callers must not look it
+/// up again.
+///
+/// # Errors
+/// The first [`RowFault`] detected.
+pub(crate) fn validate_row_against(
+    n_attrs: usize,
+    group_index: &GroupIndex,
+    row: &[f64],
+) -> Result<GroupId, RowFault> {
+    if row.len() != n_attrs {
+        return Err(RowFault::WrongWidth { expected: n_attrs, found: row.len() });
+    }
+    if let Some(column) = row.iter().position(|v| !v.is_finite()) {
+        return Err(RowFault::NonFinite { column });
+    }
+    group_index.group_of(row).map_err(|_| RowFault::GroupOutOfDomain)
 }
 
 impl FalccModel {
@@ -139,14 +161,7 @@ impl FalccModel {
     /// The first [`RowFault`] detected: width, then finiteness, then
     /// group domain.
     pub(crate) fn validate_row(&self, row: &[f64]) -> Result<GroupId, RowFault> {
-        let expected = self.schema().n_attrs();
-        if row.len() != expected {
-            return Err(RowFault::WrongWidth { expected, found: row.len() });
-        }
-        if let Some(column) = row.iter().position(|v| !v.is_finite()) {
-            return Err(RowFault::NonFinite { column });
-        }
-        self.group_index().group_of(row).map_err(|_| RowFault::GroupOutOfDomain)
+        validate_row_against(self.schema().n_attrs(), self.group_index(), row)
     }
 
     /// Classification of one sample whose projection is already computed

@@ -161,6 +161,48 @@ fn injected_fault_plans_degrade_identically() {
     assert_eq!(interpreted, served);
 }
 
+/// The binary artifact round trip (`CompiledModel -> artifact bytes ->
+/// CompiledModelBuf::load`) must reproduce the fresh `compile()` plane
+/// bit-for-bit: identical `Result<u8, RowFault>` sequences on mixed
+/// valid/malformed batches at every thread count, for every fixture —
+/// including the kNN-delegating `standard_five` pool, whose opaque
+/// members travel as specs in the metadata section.
+#[test]
+fn artifact_round_trip_serves_identically_at_all_thread_counts() {
+    let env_threads: Option<usize> =
+        std::env::var("FALCC_TEST_THREADS").ok().and_then(|v| v.parse().ok());
+    for (fixture_idx, (model, split)) in fixtures().iter().enumerate() {
+        let rows = mixed_batch(split, 40);
+        let compiled = model.compile();
+        let bytes =
+            compiled.to_artifact_bytes(0xf1f0 + fixture_idx as u64).expect("serialise");
+        let buf = falcc::CompiledModelBuf::from_bytes(bytes).expect("validate");
+        // One read-only buffer serves any number of replicas.
+        let mut loaded = buf.load_if_fresh(0xf1f0 + fixture_idx as u64).expect("load");
+        let replica = buf.load().expect("second load from the same buffer");
+        assert_eq!(
+            replica.classify_batch(&rows),
+            loaded.classify_batch(&rows),
+            "fixture {fixture_idx}: replicas from one buffer diverged"
+        );
+        let mut compiled = compiled;
+        for threads in THREAD_COUNTS.into_iter().chain(env_threads) {
+            compiled.set_threads(threads);
+            loaded.set_threads(threads);
+            assert_eq!(
+                compiled.classify_batch(&rows),
+                loaded.classify_batch(&rows),
+                "fixture {fixture_idx}: artifact plane diverged at {threads} threads"
+            );
+        }
+        assert_eq!(
+            compiled.predict_dataset(&split.test),
+            loaded.predict_dataset(&split.test),
+            "fixture {fixture_idx}: dataset override diverged"
+        );
+    }
+}
+
 proptest::proptest! {
     #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
 
@@ -198,11 +240,32 @@ proptest::proptest! {
         let interpreted = model.classify_batch(&rows);
         let served = compiled.classify_batch(&rows);
         proptest::prop_assert_eq!(&interpreted, &served);
+        // The persisted-artifact plane is the same plane: load from the
+        // fixture's shared buffer and demand the identical sequence.
+        let mut loaded = artifact_buffers()[fixture_idx].load().expect("artifact load");
+        loaded.set_threads(THREAD_COUNTS[threads_idx]);
+        proptest::prop_assert_eq!(&interpreted, &loaded.classify_batch(&rows));
         for (i, row) in rows.iter().enumerate() {
             let single_interpreted = model.try_classify(row);
             let single_compiled = compiled.try_classify(row);
             proptest::prop_assert_eq!(&single_interpreted, &single_compiled);
+            proptest::prop_assert_eq!(&single_interpreted, &loaded.try_classify(row));
             proptest::prop_assert_eq!(&interpreted[i], &single_interpreted, "row {}", i);
         }
     }
+}
+
+/// One validated artifact buffer per fixture, shared across proptest
+/// cases the way replicas would share it in production.
+fn artifact_buffers() -> &'static Vec<falcc::CompiledModelBuf> {
+    static BUFFERS: OnceLock<Vec<falcc::CompiledModelBuf>> = OnceLock::new();
+    BUFFERS.get_or_init(|| {
+        fixtures()
+            .iter()
+            .map(|(model, _)| {
+                let bytes = model.compile().to_artifact_bytes(0).expect("serialise");
+                falcc::CompiledModelBuf::from_bytes(bytes).expect("validate")
+            })
+            .collect()
+    })
 }

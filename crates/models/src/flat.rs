@@ -806,6 +806,363 @@ impl FlatPool {
     }
 }
 
+/// Member-record tags used by [`FlatPoolParts`].
+const TAG_TREE: u32 = 0;
+const TAG_BOOST: u32 = 1;
+const TAG_FOREST: u32 = 2;
+const TAG_LINEAR: u32 = 3;
+const TAG_BAYES: u32 = 4;
+const TAG_OPAQUE: u32 = 5;
+
+/// A [`FlatPool`] disassembled into plain numeric slabs — the transport
+/// form binary artifacts write and read. Everything lives in four typed
+/// vectors (f64 node thresholds/probabilities, u32 node links, plus two
+/// per-member payload slabs) addressed by fixed-width member records, so
+/// a loader can rebuild the pool with validated bulk copies and no
+/// per-field parsing.
+///
+/// `member_recs` holds five `u32`s per member:
+/// `[tag, u32_off, u32_len, f64_off, f64_len]`, where the offsets/lengths
+/// select the member's payload out of `member_u32` / `member_f64`.
+/// Opaque members (kNN, external classifiers) carry an index into a
+/// side-channel spec list returned by [`FlatPool::to_parts`] — their
+/// parameters are not flat and travel as serialised [`ModelSpec`]s.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FlatPoolParts {
+    /// Node split thresholds (`+∞` on self-looping leaves).
+    pub node_thr: Vec<f64>,
+    /// Node split attributes (0 on leaves).
+    pub node_feat: Vec<u32>,
+    /// Node left-child links (self-index on leaves, `right = left + 1`).
+    pub node_left: Vec<u32>,
+    /// Leaf probabilities (0 on splits).
+    pub node_proba: Vec<f64>,
+    /// Per-member packed-node counts (bucket-strategy input).
+    pub footprints: Vec<u32>,
+    /// Five `u32`s per member: `[tag, u32_off, u32_len, f64_off, f64_len]`.
+    pub member_recs: Vec<u32>,
+    /// Concatenated per-member integer payloads.
+    pub member_u32: Vec<u32>,
+    /// Concatenated per-member float payloads.
+    pub member_f64: Vec<f64>,
+}
+
+impl FlatPool {
+    /// Disassembles the pool into [`FlatPoolParts`] plus the specs of its
+    /// opaque members (index `i` in the spec list is referenced by the
+    /// tag-5 member records).
+    ///
+    /// # Errors
+    /// A detail string naming the member when an opaque member's
+    /// classifier does not support persistence (`to_spec()` is `None`).
+    pub fn to_parts(&self) -> Result<(FlatPoolParts, Vec<ModelSpec>), String> {
+        let mut parts = FlatPoolParts {
+            node_thr: self.arena.nodes.iter().map(|n| n.thr).collect(),
+            node_feat: self.arena.nodes.iter().map(|n| n.feat).collect(),
+            node_left: self.arena.nodes.iter().map(|n| n.left).collect(),
+            node_proba: self.arena.probas.clone(),
+            footprints: self.footprints.clone(),
+            ..FlatPoolParts::default()
+        };
+        let mut opaque = Vec::new();
+        for member in &self.members {
+            let u_off = parts.member_u32.len() as u32;
+            let f_off = parts.member_f64.len() as u32;
+            let tag = match member {
+                FlatMember::Tree { root } => {
+                    parts.member_u32.push(*root);
+                    TAG_TREE
+                }
+                FlatMember::Boost { stages, depths, suffix, stumps } => {
+                    parts.member_u32.push(stages.len() as u32);
+                    parts.member_u32.push(u32::from(stumps.is_some()));
+                    parts.member_u32.extend(stages.iter().map(|&(root, _)| root));
+                    parts.member_u32.extend_from_slice(depths);
+                    parts.member_f64.extend(stages.iter().map(|&(_, alpha)| alpha));
+                    // The inflated suffix sums travel verbatim: they are
+                    // derived, but re-deriving at load time would re-run
+                    // float arithmetic the early-exit guard depends on.
+                    parts.member_f64.extend_from_slice(suffix);
+                    if let Some(slab) = stumps {
+                        parts.member_u32.extend_from_slice(&slab.feats);
+                        parts.member_f64.extend_from_slice(&slab.thrs);
+                        parts.member_f64.extend(slab.salpha.iter().flatten().copied());
+                    }
+                    TAG_BOOST
+                }
+                FlatMember::Forest { roots, depths } => {
+                    parts.member_u32.push(roots.len() as u32);
+                    parts.member_u32.extend_from_slice(roots);
+                    parts.member_u32.extend_from_slice(depths);
+                    TAG_FOREST
+                }
+                FlatMember::Linear { attrs, weights, means, stds, bias } => {
+                    parts.member_u32.push(attrs.len() as u32);
+                    parts.member_u32.extend_from_slice(attrs);
+                    parts.member_f64.extend_from_slice(weights);
+                    parts.member_f64.extend_from_slice(means);
+                    parts.member_f64.extend_from_slice(stds);
+                    parts.member_f64.push(*bias);
+                    TAG_LINEAR
+                }
+                FlatMember::Bayes { attrs, slab, log_prior } => {
+                    parts.member_u32.push(attrs.len() as u32);
+                    parts.member_u32.extend_from_slice(attrs);
+                    parts.member_f64.extend(slab.iter().flatten().copied());
+                    parts.member_f64.extend_from_slice(log_prior);
+                    TAG_BAYES
+                }
+                FlatMember::Opaque(model) => {
+                    let spec = model.to_spec().ok_or_else(|| {
+                        format!("member {:?} does not support persistence", model.name())
+                    })?;
+                    parts.member_u32.push(opaque.len() as u32);
+                    opaque.push(spec);
+                    TAG_OPAQUE
+                }
+            };
+            parts.member_recs.extend_from_slice(&[
+                tag,
+                u_off,
+                parts.member_u32.len() as u32 - u_off,
+                f_off,
+                parts.member_f64.len() as u32 - f_off,
+            ]);
+        }
+        Ok((parts, opaque))
+    }
+
+    /// Rebuilds a pool from its transport parts. Every structural
+    /// invariant the evaluators rely on is re-validated — node links
+    /// (splits point strictly forward with an in-range right sibling,
+    /// leaves self-loop with a `+∞` threshold and attribute 0), split
+    /// attributes within the `n_attrs`-wide row, payload offsets within
+    /// their slabs, ensemble depths bounded by the arena — so damaged or
+    /// hand-built parts surface as a typed detail string, never as a
+    /// panic or an unterminated walk. `opaque` supplies the rebuilt
+    /// classifiers for tag-5 members, in [`FlatPool::to_parts`] spec
+    /// order.
+    ///
+    /// # Errors
+    /// A human-readable detail string locating the first inconsistency.
+    pub fn from_parts(
+        parts: FlatPoolParts,
+        opaque: &[Arc<dyn Classifier>],
+        n_attrs: usize,
+    ) -> Result<Self, String> {
+        let n = parts.node_thr.len();
+        if parts.node_feat.len() != n
+            || parts.node_left.len() != n
+            || parts.node_proba.len() != n
+        {
+            return Err(format!(
+                "node slabs disagree on length: thr={n} feat={} left={} proba={}",
+                parts.node_feat.len(),
+                parts.node_left.len(),
+                parts.node_proba.len()
+            ));
+        }
+        for i in 0..n {
+            let left = parts.node_left[i] as usize;
+            if left == i {
+                // Self-looping leaf: the lockstep evaluators keep
+                // "stepping" on it, so its threshold must compare `⩽`
+                // for every finite value and its feature read must stay
+                // in range.
+                if parts.node_thr[i] != f64::INFINITY {
+                    return Err(format!("leaf node {i} has finite threshold"));
+                }
+                if parts.node_feat[i] != 0 {
+                    return Err(format!("leaf node {i} has non-zero attribute"));
+                }
+            } else {
+                if left <= i || left + 1 >= n {
+                    return Err(format!(
+                        "split node {i} links to invalid children {left}/{}",
+                        left + 1
+                    ));
+                }
+                if parts.node_feat[i] as usize >= n_attrs {
+                    return Err(format!(
+                        "split node {i} reads attribute {} of a {n_attrs}-wide row",
+                        parts.node_feat[i]
+                    ));
+                }
+            }
+        }
+        if !parts.member_recs.len().is_multiple_of(5) {
+            return Err(format!(
+                "member records hold {} values, not a multiple of 5",
+                parts.member_recs.len()
+            ));
+        }
+        let n_members = parts.member_recs.len() / 5;
+        if parts.footprints.len() != n_members {
+            return Err(format!(
+                "{} footprints for {n_members} members",
+                parts.footprints.len()
+            ));
+        }
+        let check_root = |what: &str, m: usize, root: u32| {
+            if (root as usize) < n {
+                Ok(())
+            } else {
+                Err(format!("member {m} {what} root {root} outside {n}-node arena"))
+            }
+        };
+        let check_attr = |what: &str, m: usize, attr: u32| {
+            if (attr as usize) < n_attrs {
+                Ok(())
+            } else {
+                Err(format!(
+                    "member {m} {what} reads attribute {attr} of a {n_attrs}-wide row"
+                ))
+            }
+        };
+        let mut members = Vec::with_capacity(n_members);
+        for (m, rec) in parts.member_recs.chunks_exact(5).enumerate() {
+            let (tag, u_off, u_len, f_off, f_len) = (
+                rec[0],
+                rec[1] as usize,
+                rec[2] as usize,
+                rec[3] as usize,
+                rec[4] as usize,
+            );
+            let u = parts
+                .member_u32
+                .get(u_off..u_off + u_len)
+                .ok_or_else(|| format!("member {m} u32 payload out of range"))?;
+            let f = parts
+                .member_f64
+                .get(f_off..f_off + f_len)
+                .ok_or_else(|| format!("member {m} f64 payload out of range"))?;
+            let shape = |ok: bool| {
+                if ok {
+                    Ok(())
+                } else {
+                    Err(format!("member {m} (tag {tag}) has malformed payload shape"))
+                }
+            };
+            let member = match tag {
+                TAG_TREE => {
+                    shape(u.len() == 1 && f.is_empty())?;
+                    check_root("tree", m, u[0])?;
+                    FlatMember::Tree { root: u[0] }
+                }
+                TAG_BOOST => {
+                    shape(u.len() >= 2)?;
+                    let ns = u[0] as usize;
+                    let has_stumps = match u[1] {
+                        0 => false,
+                        1 => true,
+                        _ => return Err(format!("member {m} has invalid stump flag {}", u[1])),
+                    };
+                    shape(u.len() == 2 + 2 * ns + if has_stumps { ns } else { 0 })?;
+                    shape(f.len() == 2 * ns + 1 + if has_stumps { 3 * ns } else { 0 })?;
+                    let roots = &u[2..2 + ns];
+                    let depths = &u[2 + ns..2 + 2 * ns];
+                    for (&root, &depth) in roots.iter().zip(depths) {
+                        check_root("boost stage", m, root)?;
+                        if depth as usize > n {
+                            return Err(format!("member {m} stage depth {depth} exceeds arena"));
+                        }
+                    }
+                    let alphas = &f[..ns];
+                    let suffix = f[ns..2 * ns + 1].to_vec();
+                    let stumps = if has_stumps {
+                        let feats = u[2 + 2 * ns..].to_vec();
+                        for &feat in &feats {
+                            check_attr("stump", m, feat)?;
+                        }
+                        let thrs = f[2 * ns + 1..3 * ns + 1].to_vec();
+                        let salpha = f[3 * ns + 1..]
+                            .chunks_exact(2)
+                            .map(|p| [p[0], p[1]])
+                            .collect();
+                        Some(StumpSlab { feats, thrs, salpha })
+                    } else {
+                        None
+                    };
+                    FlatMember::Boost {
+                        stages: roots.iter().copied().zip(alphas.iter().copied()).collect(),
+                        depths: depths.to_vec(),
+                        suffix,
+                        stumps,
+                    }
+                }
+                TAG_FOREST => {
+                    shape(!u.is_empty())?;
+                    let nt = u[0] as usize;
+                    shape(u.len() == 1 + 2 * nt && f.is_empty())?;
+                    let roots = &u[1..1 + nt];
+                    let depths = &u[1 + nt..];
+                    for (&root, &depth) in roots.iter().zip(depths) {
+                        check_root("forest tree", m, root)?;
+                        if depth as usize > n {
+                            return Err(format!("member {m} tree depth {depth} exceeds arena"));
+                        }
+                    }
+                    FlatMember::Forest { roots: roots.to_vec(), depths: depths.to_vec() }
+                }
+                TAG_LINEAR => {
+                    shape(!u.is_empty())?;
+                    let na = u[0] as usize;
+                    shape(u.len() == 1 + na && f.len() == 3 * na + 1)?;
+                    for &attr in &u[1..] {
+                        check_attr("linear", m, attr)?;
+                    }
+                    FlatMember::Linear {
+                        attrs: u[1..].to_vec(),
+                        weights: f[..na].to_vec(),
+                        means: f[na..2 * na].to_vec(),
+                        stds: f[2 * na..3 * na].to_vec(),
+                        bias: f[3 * na],
+                    }
+                }
+                TAG_BAYES => {
+                    shape(!u.is_empty())?;
+                    let na = u[0] as usize;
+                    shape(u.len() == 1 + na && f.len() == 6 * na + 2)?;
+                    for &attr in &u[1..] {
+                        check_attr("bayes", m, attr)?;
+                    }
+                    let slab = f[..6 * na]
+                        .chunks_exact(6)
+                        .map(|s| [s[0], s[1], s[2], s[3], s[4], s[5]])
+                        .collect();
+                    FlatMember::Bayes {
+                        attrs: u[1..].to_vec(),
+                        slab,
+                        log_prior: [f[6 * na], f[6 * na + 1]],
+                    }
+                }
+                TAG_OPAQUE => {
+                    shape(u.len() == 1 && f.is_empty())?;
+                    let idx = u[0] as usize;
+                    let model = opaque.get(idx).ok_or_else(|| {
+                        format!("member {m} references opaque spec {idx} of {}", opaque.len())
+                    })?;
+                    FlatMember::Opaque(Arc::clone(model))
+                }
+                _ => return Err(format!("member {m} carries unknown tag {tag}")),
+            };
+            members.push(member);
+        }
+        let nodes = (0..n)
+            .map(|i| PackedNode {
+                thr: parts.node_thr[i],
+                feat: parts.node_feat[i],
+                left: parts.node_left[i],
+            })
+            .collect();
+        Ok(Self {
+            arena: NodeArena { nodes, probas: parts.node_proba },
+            members,
+            footprints: parts.footprints,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -923,5 +1280,98 @@ mod tests {
         assert!(flat.is_empty());
         assert!(flat.arena.is_empty());
         assert_eq!(flat.len(), 0);
+        let (parts, opaque) = flat.to_parts().unwrap();
+        assert!(opaque.is_empty());
+        let rebuilt = FlatPool::from_parts(parts, &[], 0).unwrap();
+        assert!(rebuilt.is_empty());
+    }
+
+    #[test]
+    fn parts_round_trip_is_bit_identical_for_every_member_kind() {
+        let ds = blobs(300, 3, 17);
+        let models = all_models(&ds);
+        let flat = FlatPool::compile(&models);
+        let (parts, opaque_specs) = flat.to_parts().unwrap();
+        // Only kNN lacks a flat form in this pool.
+        assert_eq!(opaque_specs.len(), 1);
+        let opaque: Vec<Arc<dyn Classifier>> =
+            opaque_specs.into_iter().map(|s| s.into_classifier()).collect();
+        let rebuilt = FlatPool::from_parts(parts.clone(), &opaque, ds.n_attrs()).unwrap();
+        assert_eq!(rebuilt.len(), flat.len());
+        assert_eq!(rebuilt.n_nodes(), flat.n_nodes());
+
+        let mut rng = StdRng::seed_from_u64(5);
+        for trial in 0..150 {
+            let row: Vec<f64> = if trial < 75 {
+                ds.row(trial % ds.len()).to_vec()
+            } else {
+                (0..ds.n_attrs()).map(|_| rng.gen_range(-5.0..5.0)).collect()
+            };
+            for i in 0..flat.len() {
+                assert_eq!(
+                    flat.predict_proba_row(i, &row).to_bits(),
+                    rebuilt.predict_proba_row(i, &row).to_bits(),
+                    "member {i} diverged after parts round trip on trial {trial}"
+                );
+                assert_eq!(flat.predict_row(i, &row), rebuilt.predict_row(i, &row));
+            }
+        }
+        // A second disassembly of the rebuilt pool reproduces the parts.
+        let (again, _) = rebuilt.to_parts().unwrap();
+        assert_eq!(again, parts);
+    }
+
+    #[test]
+    fn from_parts_rejects_structural_damage() {
+        let ds = blobs(200, 3, 23);
+        let models = all_models(&ds);
+        let flat = FlatPool::compile(&models);
+        let (parts, opaque_specs) = flat.to_parts().unwrap();
+        let opaque: Vec<Arc<dyn Classifier>> =
+            opaque_specs.into_iter().map(|s| s.into_classifier()).collect();
+
+        // Baseline sanity: the pristine parts load.
+        assert!(FlatPool::from_parts(parts.clone(), &opaque, ds.n_attrs()).is_ok());
+
+        // A split pointing backwards would loop forever in eval().
+        let split = (0..parts.node_left.len())
+            .find(|&i| parts.node_left[i] as usize != i)
+            .unwrap();
+        let mut damaged = parts.clone();
+        damaged.node_left[split] = 0;
+        assert!(FlatPool::from_parts(damaged, &opaque, ds.n_attrs()).is_err());
+
+        // A leaf with a finite threshold breaks the lockstep walks.
+        let leaf = (0..parts.node_left.len())
+            .find(|&i| parts.node_left[i] as usize == i)
+            .unwrap();
+        let mut damaged = parts.clone();
+        damaged.node_thr[leaf] = 0.0;
+        assert!(FlatPool::from_parts(damaged, &opaque, ds.n_attrs()).is_err());
+
+        // A split reading past the row width.
+        let mut damaged = parts.clone();
+        damaged.node_feat[split] = ds.n_attrs() as u32;
+        assert!(FlatPool::from_parts(damaged, &opaque, ds.n_attrs()).is_err());
+
+        // Member payloads escaping their slab.
+        let mut damaged = parts.clone();
+        damaged.member_recs[2] = u32::MAX;
+        assert!(FlatPool::from_parts(damaged, &opaque, ds.n_attrs()).is_err());
+
+        // Unknown member tag.
+        let mut damaged = parts.clone();
+        damaged.member_recs[0] = 77;
+        assert!(FlatPool::from_parts(damaged, &opaque, ds.n_attrs()).is_err());
+
+        // Opaque index past the spec list.
+        let mut damaged = parts;
+        let opaque_rec = damaged
+            .member_recs
+            .chunks_exact(5)
+            .position(|rec| rec[0] == 5)
+            .unwrap();
+        damaged.member_u32[damaged.member_recs[opaque_rec * 5 + 1] as usize] = 9;
+        assert!(FlatPool::from_parts(damaged, &opaque, ds.n_attrs()).is_err());
     }
 }

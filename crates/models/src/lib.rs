@@ -40,7 +40,7 @@ pub mod traits;
 pub mod tree;
 
 pub use boost::{AdaBoost, AdaBoostParams};
-pub use flat::{FlatPool, NodeArena};
+pub use flat::{FlatPool, FlatPoolParts, NodeArena};
 pub use forest::{RandomForest, RandomForestParams};
 pub use grid::{GridPoint, TrainerKind, PAPER_GRID};
 pub use parallel::{derive_seed, parallel_map, parallel_map_range, resolve_threads};

@@ -326,6 +326,13 @@ pub mod counters {
     /// Journal entries discarded on resume: torn or corrupt records,
     /// broken manifest chains, and stale-generation suffixes.
     pub static CHECKPOINTS_DISCARDED: Counter = Counter::new("checkpoint.discarded");
+    /// Binary serving artifacts rejected at load time (corruption,
+    /// truncation, misalignment, version skew, stale fingerprint).
+    pub static ARTIFACTS_REJECTED: Counter = Counter::new("artifact.rejected");
+    /// Serving starts that preferred a binary artifact but fell back to
+    /// the JSON restore+compile path (missing, stale, or damaged
+    /// artifact).
+    pub static SERVE_ARTIFACT_FALLBACKS: Counter = Counter::new("serve.artifact_fallbacks");
 }
 
 /// Well-known gauges.

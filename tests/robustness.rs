@@ -18,6 +18,12 @@
 //!    damaged record or manifest line is detected and the resume falls
 //!    back to the last valid prefix, reproducing the uninterrupted model
 //!    bit for bit (stale-generation journals are rejected typed instead).
+//! 5. **Hardened binary artifacts** — the same corruption matrix applied
+//!    to the v3 binary serving artifact (bit flips across header,
+//!    section table, and slab bytes; truncation buckets; alignment
+//!    violations; version skew; stale fingerprints) is always rejected
+//!    with a typed error — never UB, never a panic, never a silently
+//!    different model.
 
 use falcc::checkpoint::MANIFEST;
 use falcc::faults::{flip_byte, truncate_bytes};
@@ -254,6 +260,155 @@ fn snapshot_corruption_matrix_is_always_caught() {
             "truncation to {keep} bytes must be SnapshotCorrupt"
         );
     }
+}
+
+#[test]
+fn artifact_corruption_matrix_is_always_caught() {
+    let split = fixture(800, 38);
+    let model = FalccModel::fit(&split.train, &split.validation, &config(38, 0))
+        .expect("fit");
+    let compiled = model.compile();
+    const FP: u64 = 0xdead_beef_cafe_f00d;
+    let bytes = compiled.to_artifact_bytes(FP).expect("serialise");
+    let reference = falcc::CompiledModelBuf::from_bytes(bytes.clone())
+        .expect("pristine artifact validates")
+        .load_if_fresh(FP)
+        .expect("pristine artifact loads")
+        .predict_dataset(&split.test);
+    assert_eq!(reference, compiled.predict_dataset(&split.test));
+
+    // Bit flips at a stride across the whole file: header, section
+    // table, slab bytes, and inter-section padding. Unlike the JSON
+    // envelope (where serde may normalise whitespace damage away), the
+    // binary envelope has no slack: every flipped byte must be rejected
+    // typed, with the error variant determined by where the flip landed.
+    let stride = (bytes.len() / 97).max(1);
+    for offset in (0..bytes.len()).step_by(stride).chain([8, 16, 24]) {
+        let mut mangled = bytes.clone();
+        flip_byte(&mut mangled, offset);
+        let outcome = falcc::CompiledModelBuf::from_bytes(mangled)
+            .and_then(|buf| buf.load_if_fresh(FP));
+        match outcome {
+            Err(FalccError::ArtifactCorrupt { .. }) => {}
+            Err(FalccError::ArtifactVersionSkew { .. }) => {
+                assert!(
+                    (8..12).contains(&offset),
+                    "flip at {offset} misreported as version skew"
+                );
+            }
+            Err(FalccError::ArtifactStale { .. }) => {
+                assert!(
+                    (16..24).contains(&offset),
+                    "flip at {offset} misreported as stale"
+                );
+            }
+            Err(other) => panic!("flip at {offset}: wrong error type {other}"),
+            Ok(_) => panic!("flip at {offset} loaded anyway"),
+        }
+    }
+
+    // Truncations at every length bucket, including mid-header and
+    // mid-slab cuts.
+    for keep in
+        [0, 1, 2, 31, 100, bytes.len() / 4, bytes.len() / 2, bytes.len() - 2, bytes.len() - 1]
+    {
+        let mut mangled = bytes.clone();
+        truncate_bytes(&mut mangled, keep);
+        assert!(
+            matches!(
+                falcc::CompiledModelBuf::from_bytes(mangled),
+                Err(FalccError::ArtifactCorrupt { .. })
+            ),
+            "truncation to {keep} bytes must be ArtifactCorrupt"
+        );
+    }
+
+    // Alignment violation with *valid* checksums: shift a section offset
+    // off the 8-byte grid and re-seal both the section checksum and the
+    // whole-file checksum, so only the alignment rule can catch it.
+    let mut mangled = bytes.clone();
+    let entry = 32 + 32; // section 1's table entry
+    let offset =
+        u64::from_le_bytes(mangled[entry + 8..entry + 16].try_into().expect("8 bytes"));
+    let len =
+        u64::from_le_bytes(mangled[entry + 16..entry + 24].try_into().expect("8 bytes"));
+    mangled[entry + 8..entry + 16].copy_from_slice(&(offset + 4).to_le_bytes());
+    let body = &mangled[(offset + 4) as usize..(offset + 4 + len) as usize];
+    let reseal = falcc::io::fnv1a64(body);
+    mangled[entry + 24..entry + 32].copy_from_slice(&reseal.to_le_bytes());
+    let file_checksum = falcc::io::fnv1a64(&mangled[32..]);
+    mangled[24..32].copy_from_slice(&file_checksum.to_le_bytes());
+    match falcc::CompiledModelBuf::from_bytes(mangled) {
+        Err(FalccError::ArtifactCorrupt { detail }) => {
+            assert!(detail.contains("misaligned"), "{detail}");
+        }
+        Err(other) => panic!("misalignment: wrong error type {other}"),
+        Ok(_) => panic!("misaligned section validated anyway"),
+    }
+
+    // Version skew on an otherwise intact file is its own typed variant.
+    let mut skewed = bytes.clone();
+    skewed[8] = 9;
+    assert!(matches!(
+        falcc::CompiledModelBuf::from_bytes(skewed),
+        Err(FalccError::ArtifactVersionSkew { found: 9, expected: 3 })
+    ));
+
+    // Stale fingerprint: the buffer validates but refuses to serve a
+    // model compiled from a different snapshot.
+    let rejected_before = falcc_telemetry::counters::ARTIFACTS_REJECTED.get();
+    let buf = falcc::CompiledModelBuf::from_bytes(bytes).expect("validate");
+    assert!(matches!(
+        buf.load_if_fresh(FP ^ 1),
+        Err(FalccError::ArtifactStale { found: FP, .. })
+    ));
+    if falcc_telemetry::enabled() {
+        let rejected_after = falcc_telemetry::counters::ARTIFACTS_REJECTED.get();
+        assert!(
+            rejected_after > rejected_before,
+            "typed artifact rejections must tick artifact.rejected"
+        );
+    }
+    // The same buffer still serves the matching fingerprint.
+    let again = buf.load_if_fresh(FP).expect("fresh load").predict_dataset(&split.test);
+    assert_eq!(again, reference);
+}
+
+#[test]
+fn corrupted_artifact_files_are_rejected_on_load() {
+    let split = fixture(700, 39);
+    let model = FalccModel::fit(&split.train, &split.validation, &config(39, 0))
+        .expect("fit");
+    let dir = std::env::temp_dir().join("falcc_artifact_robustness_test");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("model.falccb");
+
+    let compiled = model.compile();
+    compiled.save_artifact(&path, 5).expect("save");
+    let loaded = falcc::CompiledModel::load_artifact(&path).expect("pristine file loads");
+    assert_eq!(
+        loaded.predict_dataset(&split.test),
+        compiled.predict_dataset(&split.test)
+    );
+
+    // Corrupt the file on disk, as a crash/bad-disk stand-in, and reload.
+    let mut bytes = std::fs::read(&path).expect("read");
+    let mid = bytes.len() / 2;
+    flip_byte(&mut bytes, mid);
+    std::fs::write(&path, &bytes).expect("write");
+    assert!(matches!(
+        falcc::CompiledModel::load_artifact(&path),
+        Err(FalccError::ArtifactCorrupt { .. })
+    ));
+
+    // Arbitrary garbage is corruption too, not a panic.
+    std::fs::write(&path, [0x00u8, 0x11, 0x22]).expect("write");
+    assert!(matches!(
+        falcc::CompiledModel::load_artifact(&path),
+        Err(FalccError::ArtifactCorrupt { .. })
+    ));
+
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
